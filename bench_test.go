@@ -1,0 +1,230 @@
+// Package specpersist's root benchmarks regenerate every table and figure
+// of the paper's evaluation (one benchmark per table/figure; see DESIGN.md
+// §4 for the experiment index).
+//
+// Each benchmark runs the corresponding experiment at a laptop scale
+// (override with SPECPERSIST_BENCH_SCALE) and reports the figure's headline
+// metric through b.ReportMetric, so `go test -bench=.` both regenerates the
+// numbers and records them. cmd/figures prints the full tables.
+package specpersist
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"specpersist/internal/core"
+	"specpersist/internal/report"
+	"specpersist/internal/sp"
+	"specpersist/internal/workload"
+)
+
+// benchScale is intentionally small so the full -bench=. sweep finishes in
+// minutes; shapes are scale-stable (EXPERIMENTS.md discusses fidelity).
+func benchScale() float64 {
+	if s := os.Getenv("SPECPERSIST_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.004
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if workload.Table1Report().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if workload.Table2Report().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if workload.Table3Report().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// variantRatios runs every Table 1 benchmark under a variant and returns
+// cycles ratios to Base.
+func variantRatios(s *workload.Suite, v core.Variant) []float64 {
+	var out []float64
+	for _, bench := range workload.Table1() {
+		base := s.Get(bench, core.VariantBase).Stats.Cycles
+		out = append(out, float64(s.Get(bench, v).Stats.Cycles)/float64(base))
+	}
+	return out
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := workload.NewSuite(benchScale(), 1)
+		logOvh := report.GeoMeanOverhead(variantRatios(s, core.VariantLog))
+		sfOvh := report.GeoMeanOverhead(variantRatios(s, core.VariantLogPSf))
+		spOvh := report.GeoMeanOverhead(variantRatios(s, core.VariantSP))
+		b.ReportMetric(100*logOvh, "Log-ovh-%")
+		b.ReportMetric(100*sfOvh, "Log+P+Sf-ovh-%")
+		b.ReportMetric(100*spOvh, "SP-ovh-%")
+		if spOvh >= sfOvh {
+			b.Fatalf("SP overhead %.1f%% not below Log+P+Sf %.1f%%", 100*spOvh, 100*sfOvh)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := workload.NewSuite(benchScale(), 1)
+		var ratios []float64
+		for _, bench := range workload.Table1() {
+			base := s.Get(bench, core.VariantBase).Stats.Committed
+			ratios = append(ratios, float64(s.Get(bench, core.VariantLogPSf).Stats.Committed)/float64(base))
+		}
+		b.ReportMetric(1+report.GeoMeanOverhead(ratios), "instr-ratio")
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := workload.NewSuite(benchScale(), 1)
+		var sf, spv float64
+		for _, bench := range workload.Table1() {
+			base := float64(s.Get(bench, core.VariantBase).Stats.Cycles)
+			sf += float64(s.Get(bench, core.VariantLogPSf).Stats.FetchQStallCycles) / base
+			spv += float64(s.Get(bench, core.VariantSP).Stats.FetchQStallCycles) / base
+		}
+		n := float64(len(workload.Table1()))
+		b.ReportMetric(sf/n, "Sf-fetchstall-ratio")
+		b.ReportMetric(spv/n, "SP-fetchstall-ratio")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := workload.NewSuite(benchScale(), 1)
+		maxConc := 0
+		for _, bench := range workload.Table1() {
+			if m := s.Get(bench, core.VariantLogP).Stats.MaxConcurrentPcommits; m > maxConc {
+				maxConc = m
+			}
+		}
+		b.ReportMetric(float64(maxConc), "max-inflight-pcommits")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := workload.NewSuite(benchScale(), 1)
+		var sum float64
+		for _, bench := range workload.Table1() {
+			sum += s.Get(bench, core.VariantLogP).Stats.AvgStoresPerPcommit()
+		}
+		b.ReportMetric(sum/float64(len(workload.Table1())), "stores-per-pcommit")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	// The SSB size sweep: report the gmean overhead at the two paper
+	// design points (128 and 256 entries).
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{128, 256} {
+			var ratios []float64
+			for _, bench := range workload.Table1() {
+				base := workload.MustRun(bench, workload.RunConfig{
+					Variant: core.VariantBase, Scale: benchScale(), Seed: 1,
+				}).Stats.Cycles
+				r := workload.MustRun(bench, workload.RunConfig{
+					Variant: core.VariantSP, Scale: benchScale(), Seed: 1, SSBEntries: size,
+				})
+				ratios = append(ratios, float64(r.Stats.Cycles)/float64(base))
+			}
+			b.ReportMetric(100*report.GeoMeanOverhead(ratios),
+				"SP"+strconv.Itoa(size)+"-ovh-%")
+		}
+	}
+}
+
+func BenchmarkFig13FullSweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full SSB sweep")
+	}
+	for i := 0; i < b.N; i++ {
+		for _, size := range sp.SSBSizes() {
+			var ratios []float64
+			for _, bench := range workload.Table1() {
+				base := workload.MustRun(bench, workload.RunConfig{
+					Variant: core.VariantBase, Scale: benchScale(), Seed: 1,
+				}).Stats.Cycles
+				r := workload.MustRun(bench, workload.RunConfig{
+					Variant: core.VariantSP, Scale: benchScale(), Seed: 1, SSBEntries: size,
+				})
+				ratios = append(ratios, float64(r.Stats.Cycles)/float64(base))
+			}
+			b.ReportMetric(100*report.GeoMeanOverhead(ratios),
+				"SP"+strconv.Itoa(size)+"-ovh-%")
+		}
+	}
+}
+
+// BenchmarkAblationSP runs the SP design-choice ablations from DESIGN.md
+// §5 (no bloom, no barrier-pair collapse, no delayed PMEM replay,
+// checkpoint sizes) and reports each configuration's gmean overhead.
+func BenchmarkAblationSP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := workload.NewSuite(benchScale(), 1)
+		for _, p := range workload.AblationPoints() {
+			var ratios []float64
+			for _, bench := range workload.Table1() {
+				base := s.Get(bench, core.VariantBase).Stats.Cycles
+				sp := p.SP
+				r := workload.MustRun(bench, workload.RunConfig{
+					Variant: core.VariantSP, Scale: benchScale(), Seed: 1, SPOverride: &sp,
+				})
+				ratios = append(ratios, float64(r.Stats.Cycles)/float64(base))
+			}
+			b.ReportMetric(100*report.GeoMeanOverhead(ratios), p.Name+"-ovh-%")
+		}
+	}
+}
+
+// BenchmarkLoggingPolicy compares the paper's §3.2 design choice on the
+// B-tree: full logging (4 barriers per op, conservative log set) vs
+// incremental logging (per-step barriers, minimal log set).
+func BenchmarkLoggingPolicy(b *testing.B) {
+	bench, err := workload.FindBench("BT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		full := workload.MustRun(bench, workload.RunConfig{
+			Variant: core.VariantLogPSf, Scale: benchScale(), Seed: 1,
+		})
+		inc := workload.MustRun(bench, workload.RunConfig{
+			Variant: core.VariantLogPSf, Scale: benchScale(), Seed: 1, IncrementalBT: true,
+		})
+		b.ReportMetric(float64(full.Stats.Pcommits)/float64(full.SimOps), "full-pcommits/op")
+		b.ReportMetric(float64(inc.Stats.Pcommits)/float64(inc.SimOps), "incr-pcommits/op")
+		b.ReportMetric(float64(inc.Stats.Cycles)/float64(full.Stats.Cycles), "incr/full-cycles")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := workload.NewSuite(benchScale(), 1)
+		var worst float64
+		for _, bench := range workload.Table1() {
+			if r := s.Get(bench, core.VariantSP).Stats.BloomFalsePositiveRate(); r > worst {
+				worst = r
+			}
+		}
+		b.ReportMetric(worst, "worst-bloom-fp-rate")
+	}
+}

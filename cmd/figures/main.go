@@ -1,0 +1,104 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Tables 1-3, Figures 8-14).
+//
+// Usage:
+//
+//	figures                  # everything at the default scale
+//	figures -fig 8           # one figure
+//	figures -table 3         # one table
+//	figures -scale 0.05      # bigger runs (1.0 = paper-scale op counts)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"specpersist/internal/report"
+	"specpersist/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig      = flag.Int("fig", 0, "figure number to regenerate (8-14; 0 = all)")
+		table    = flag.Int("table", 0, "table number to regenerate (1-3; 0 = all)")
+		scale    = flag.Float64("scale", 0.02, "scale factor for Table 1 op counts (1.0 = paper)")
+		seed     = flag.Int64("seed", 1, "operation stream seed")
+		only     = flag.Bool("only", false, "with -fig/-table, print only that item")
+		ablation = flag.Bool("ablation", false, "also run the SP design-choice ablations")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
+		chart    = flag.Bool("chart", false, "also render bar charts for the overhead figures")
+	)
+	flag.Parse()
+
+	s := workload.NewSuite(*scale, *seed)
+	emit := func(name string, f func() *report.Table) {
+		start := time.Now()
+		tbl := f()
+		if *csv {
+			fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	wantTable := func(n int) bool {
+		return (*table == 0 && *fig == 0 && !*only) || *table == n
+	}
+	wantFig := func(n int) bool {
+		return (*table == 0 && *fig == 0 && !*only) || *fig == n
+	}
+
+	if wantTable(1) {
+		emit("table1", func() *report.Table { return workload.Table1Report() })
+	}
+	if wantTable(2) {
+		emit("table2", func() *report.Table { return workload.Table2Report() })
+	}
+	if wantTable(3) {
+		emit("table3", func() *report.Table { return workload.Table3Report() })
+	}
+	if wantFig(8) {
+		tbl := s.Fig8()
+		emit("fig8", func() *report.Table { return tbl })
+		if *chart {
+			// One bar chart per variant column.
+			for col := 1; col < len(tbl.Columns); col++ {
+				fmt.Println(report.ChartFromTable(tbl, col, "%").String())
+			}
+		}
+	}
+	if wantFig(9) {
+		emit("fig9", func() *report.Table { return s.Fig9() })
+	}
+	if wantFig(10) {
+		emit("fig10", func() *report.Table { return s.Fig10() })
+	}
+	if wantFig(11) {
+		emit("fig11", func() *report.Table { return s.Fig11() })
+	}
+	if wantFig(12) {
+		emit("fig12", func() *report.Table { return s.Fig12() })
+	}
+	if wantFig(13) {
+		tbl := s.Fig13()
+		emit("fig13", func() *report.Table { return tbl })
+		if *chart {
+			fmt.Println(report.ChartFromTable(tbl, 4, "%").String())
+		}
+	}
+	if wantFig(14) {
+		emit("fig14", func() *report.Table { return s.Fig14() })
+	}
+	if *ablation {
+		emit("ablation", func() *report.Table { return s.Ablation() })
+		emit("ckpt-sweep", func() *report.Table { return s.CheckpointSweep() })
+		emit("stall-breakdown", func() *report.Table { return s.StallBreakdown() })
+		emit("log-footprint", func() *report.Table { return s.LogFootprint() })
+	}
+}

@@ -1,0 +1,83 @@
+// Command spsim runs one benchmark under one variant and prints the timing
+// statistics.
+//
+// Usage:
+//
+//	spsim -bench LL -variant SP -scale 0.02 -ssb 256 -seed 1
+//
+// Benchmarks: GH HM LL SS AT BT RT (paper Table 1).
+// Variants:   Base, Log, Log+P, Log+P+Sf, SP (paper Figure 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"specpersist/internal/core"
+	"specpersist/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spsim: ")
+	var (
+		benchName = flag.String("bench", "LL", "benchmark abbreviation (GH HM LL SS AT BT RT)")
+		variant   = flag.String("variant", "SP", "variant: Base, Log, Log+P, Log+P+Sf, SP")
+		scale     = flag.Float64("scale", workload.DefaultScale, "scale factor for Table 1 op counts (1.0 = paper)")
+		seed      = flag.Int64("seed", 1, "operation stream seed")
+		ssb       = flag.Int("ssb", 0, "SSB entries for SP (0 = 256)")
+		ckpts     = flag.Int("checkpoints", 0, "checkpoint buffer entries for SP (0 = 4)")
+		overhead  = flag.Int("op-overhead", 0, "per-op application preamble length (0 = default, -1 = none)")
+		banks     = flag.Int("banks", 0, "NVMM banks (0 = default)")
+	)
+	flag.Parse()
+
+	b, err := workload.FindBench(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := core.ParseVariant(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	if *banks > 0 {
+		opts.Mem.Banks = *banks
+	}
+	rc := workload.RunConfig{
+		Variant:     v,
+		Scale:       *scale,
+		Seed:        *seed,
+		SSBEntries:  *ssb,
+		Checkpoints: *ckpts,
+		OpOverhead:  *overhead,
+		Options:     &opts,
+	}
+	r, err := workload.Run(b, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := r.Stats
+	fmt.Printf("benchmark            %s (%s)\n", b.Name, b.Desc)
+	fmt.Printf("variant              %s\n", v)
+	fmt.Printf("simulated operations %d\n", r.SimOps)
+	fmt.Printf("cycles               %d\n", s.Cycles)
+	fmt.Printf("committed instrs     %d (IPC %.2f)\n", s.Committed, float64(s.Committed)/float64(s.Cycles))
+	fmt.Printf("fetch-queue stalls   %d cycles\n", s.FetchQStallCycles)
+	fmt.Printf("loads/stores/ALU     %d / %d / %d\n", s.Loads, s.Stores, s.ALUs)
+	fmt.Printf("clwb/pcommit/sfence  %d / %d / %d\n", s.Clwbs, s.Pcommits, s.Sfences)
+	fmt.Printf("max in-flight pcommits %d\n", s.MaxConcurrentPcommits)
+	fmt.Printf("stores per pcommit   %.1f\n", s.AvgStoresPerPcommit())
+	if v.Speculative() {
+		fmt.Printf("speculation entries  %d (epochs %d)\n", s.SpecEntries, s.SpecEpochs)
+		fmt.Printf("checkpoint max/stalls %d / %d\n", s.CheckpointsMaxUsed, s.CheckpointStalls)
+		fmt.Printf("SSB max used         %d (full stalls %d)\n", s.SSBMaxUsed, s.SSBFullStalls)
+		fmt.Printf("SSB forwards         %d\n", s.SSBForwards)
+		fmt.Printf("bloom fp rate        %.4f (%d/%d)\n", s.BloomFalsePositiveRate(), s.BloomFalsePositives, s.BloomQueries)
+	}
+	fmt.Printf("L1/L2/L3 miss        %d / %d / %d\n", s.Cache.L1.Misses, s.Cache.L2.Misses, s.Cache.L3.Misses)
+	mcs := s.Mem
+	fmt.Printf("NVMM reads/writes    %d / %d (coalesced %d)\n", mcs.Reads, mcs.Writes, mcs.Coalesced)
+	fmt.Printf("WPQ max/stalls       %d / %d\n", mcs.WPQMax, mcs.WPQStalls)
+}

@@ -1,0 +1,114 @@
+// kvstore: a failure-safe key-value store on simulated NVMM, built on the
+// persistent hash map with write-ahead-log transactions. The demo crashes
+// the machine at a random point inside an update, runs recovery, and shows
+// that the store is intact — then repeats it with an unfenced (Log+P)
+// build to show why the sfences matter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"specpersist/internal/core"
+	"specpersist/internal/exec"
+	"specpersist/internal/pmem"
+	"specpersist/internal/pstruct"
+	"specpersist/internal/txn"
+)
+
+type crashSignal struct{}
+
+// store is a tiny KV facade over the persistent hash map.
+type store struct {
+	env *exec.Env
+	mgr *txn.Manager
+	hm  *pstruct.HashMap
+}
+
+func newStore(variant core.Variant, seed int64) *store {
+	env := exec.New()
+	env.Level = variant.Level()
+	if variant == core.VariantLogP {
+		// Model the persist reordering the missing fences would allow.
+		env.Reorder = rand.New(rand.NewSource(seed))
+	}
+	mgr := txn.NewManager(env, 64)
+	return &store{env: env, mgr: mgr, hm: pstruct.NewHashMap(env, mgr, 256)}
+}
+
+// toggle inserts the key if absent, deletes it if present — one
+// failure-safe transaction.
+func (s *store) toggle(key uint64) { s.hm.Apply(key) }
+
+// crashDuring runs toggle but cuts power after n persistence events.
+func (s *store) crashDuring(key uint64, n int) (crashed bool) {
+	count := 0
+	s.env.Hook = func() {
+		if count >= n {
+			panic(crashSignal{})
+		}
+		count++
+	}
+	defer func() {
+		s.env.Hook = nil
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	s.toggle(key)
+	return false
+}
+
+func demo(variant core.Variant) (violations int) {
+	fmt.Printf("--- %s build ---\n", variant)
+	rng := rand.New(rand.NewSource(7))
+	st := newStore(variant, 11)
+	for k := uint64(0); k < 40; k++ {
+		st.toggle(k)
+	}
+	st.env.M.PersistAll()
+	fmt.Printf("populated store: %d keys, durable\n", st.hm.Size())
+
+	trials, recovered := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		key := uint64(rng.Intn(64))
+		if !st.crashDuring(key, 1+rng.Intn(60)) {
+			continue // operation completed before the crash point
+		}
+		trials++
+		st.env.Crash(pmem.CrashOptions{EvictFrac: 0.3, DrainFrac: 0.5, Rand: rng})
+		st.mgr.Recover()
+		// The whole table must still be self-consistent after recovery:
+		// counters, probe chains, stored values.
+		if err := st.hm.Check(); err != nil {
+			violations++
+			fmt.Printf("store corrupted after %d crashes: %v\n", trials, err)
+			break // a corrupted store cannot be used further
+		}
+		recovered++
+	}
+	fmt.Printf("%d crashes injected mid-transaction, %d consistent recoveries, %d corruptions\n\n",
+		trials, recovered, violations)
+	return violations
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("kvstore: crash-consistent key-value store on NVMM")
+	fmt.Println()
+	if v := demo(core.VariantLogPSf); v != 0 {
+		log.Fatalf("the fenced build must never corrupt (got %d violations)", v)
+	}
+	fmt.Println("The fenced (Log+P+Sf) build survived every crash.")
+	fmt.Println()
+	if v := demo(core.VariantLogP); v > 0 {
+		fmt.Printf("The unfenced (Log+P) build corrupted %d times: without sfences the\n", v)
+		fmt.Println("undo log and commit records can persist out of order (paper §2.2).")
+	} else {
+		fmt.Println("(no corruption observed this run; increase trials to see Log+P fail)")
+	}
+}

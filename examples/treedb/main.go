@@ -1,0 +1,64 @@
+// treedb: a persistent ordered index (2-3 B-tree and red-black tree) on
+// simulated NVMM, exercising the paper's full-logging policy for
+// self-balancing trees, then comparing the Figure 8 variants on the B-tree
+// workload — including the Speculative Persistence result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"specpersist/internal/core"
+	"specpersist/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("treedb: persistent ordered indexes with full logging")
+	fmt.Println()
+
+	// Full logging in action: the transaction conservatively logs the
+	// whole root-to-leaf path before touching the tree, so rebalancing
+	// needs no extra persist barriers (paper §3.2, Figure 5).
+	b, err := workload.FindBench("BT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+
+	fmt.Println("running the B-tree benchmark under every Figure 8 variant...")
+	fmt.Println()
+	var base uint64
+	fmt.Printf("%-10s %12s %10s %8s\n", "variant", "cycles", "instrs", "overhead")
+	for _, v := range core.Variants() {
+		r := workload.MustRun(b, workload.RunConfig{
+			Variant: v,
+			Scale:   0.01,
+			Seed:    42,
+		})
+		if v == core.VariantBase {
+			base = r.Stats.Cycles
+		}
+		fmt.Printf("%-10s %12d %10d %+7.1f%%\n",
+			v.String(), r.Stats.Cycles, r.Stats.Committed,
+			100*(float64(r.Stats.Cycles)/float64(base)-1))
+	}
+	fmt.Println()
+	fmt.Println("Log      : undo-logging the full root-to-leaf path costs instructions.")
+	fmt.Println("Log+P    : clwb/pcommit alone add little (no pipeline stalls).")
+	fmt.Println("Log+P+Sf : the sfence-pcommit-sfence barriers stall the ROB head.")
+	fmt.Println("SP       : checkpoints + the speculative store buffer hide those stalls;")
+	fmt.Println("           the overhead collapses back to roughly the Log+P level.")
+
+	// The same comparison on the red-black tree, SP vs the stall baseline.
+	rt, _ := workload.FindBench("RT")
+	sf := workload.MustRun(rt, workload.RunConfig{Variant: core.VariantLogPSf, Scale: 0.01, Seed: 42})
+	sp := workload.MustRun(rt, workload.RunConfig{Variant: core.VariantSP, Scale: 0.01, Seed: 42})
+	fmt.Println()
+	fmt.Printf("red-black tree: SP speedup over the stalling baseline = %.2fx\n",
+		float64(sf.Stats.Cycles)/float64(sp.Stats.Cycles))
+	fmt.Printf("(SP used up to %d checkpoints and %d SSB entries; %d delayed PMEM ops)\n",
+		sp.Stats.CheckpointsMaxUsed, sp.Stats.SSBMaxUsed, sp.Stats.DelayedPMEMOps)
+}

@@ -1,0 +1,3 @@
+module specpersist
+
+go 1.22

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"specpersist/internal/mem"
+	"specpersist/internal/memctl"
+)
+
+// refModel is an oracle for the hierarchy's *functional* state: which
+// lines are cached somewhere and which are dirty. It mirrors the
+// hierarchy's inclusion and flush semantics without any timing, using the
+// hierarchy's own eviction notifications (captured by probing Present).
+type refModel struct {
+	dirty map[uint64]bool
+}
+
+func TestDifferentialDirtyTracking(t *testing.T) {
+	// Property over random operation streams: (a) a line is dirty only if
+	// a store touched it after its last flush; (b) flushing a line always
+	// clears dirtiness everywhere; (c) clflushopt evicts.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mc := memctl.New(memctl.DefaultConfig())
+		h := New(DefaultConfig(), mc)
+		ref := refModel{dirty: make(map[uint64]bool)}
+		now := uint64(0)
+		// Confine addresses so lines revisit (the ref cannot see silent
+		// dirty evictions, so keep the working set inside L3).
+		lines := make([]uint64, 256)
+		for i := range lines {
+			lines[i] = uint64(0x100000 + i*mem.LineSize)
+		}
+		for step := 0; step < 3000; step++ {
+			line := lines[rng.Intn(len(lines))]
+			now += uint64(rng.Intn(5))
+			switch rng.Intn(4) {
+			case 0:
+				h.Load(line, now)
+			case 1:
+				h.Store(line, now)
+				ref.dirty[line] = true
+			case 2:
+				h.Flush(line, now, false)
+				ref.dirty[line] = false
+			case 3:
+				h.Flush(line, now, true)
+				ref.dirty[line] = false
+				if h.Present(line) {
+					t.Fatalf("seed %d step %d: line present after clflushopt", seed, step)
+				}
+			}
+			if ref.dirty[line] != h.Dirty(line) {
+				t.Fatalf("seed %d step %d: dirty mismatch for %#x: ref %v cache %v",
+					seed, step, line, ref.dirty[line], h.Dirty(line))
+			}
+		}
+	}
+}
+
+func TestDifferentialTimingMonotonic(t *testing.T) {
+	// Completion times never precede issue times and never go backwards
+	// for same-line accesses issued in order.
+	rng := rand.New(rand.NewSource(7))
+	mc := memctl.New(memctl.DefaultConfig())
+	h := New(DefaultConfig(), mc)
+	now := uint64(0)
+	for step := 0; step < 5000; step++ {
+		addr := uint64(0x1000 + rng.Intn(1<<16)*8)
+		now += uint64(rng.Intn(3))
+		var done uint64
+		switch rng.Intn(3) {
+		case 0:
+			done = h.Load(addr, now)
+		case 1:
+			done = h.Store(addr, now)
+		case 2:
+			done = h.Flush(addr, now, rng.Intn(2) == 0)
+		}
+		if done < now {
+			t.Fatalf("step %d: completion %d before issue %d", step, done, now)
+		}
+		if done > now+100000 {
+			t.Fatalf("step %d: absurd completion %d for issue %d", step, done, now)
+		}
+	}
+}
+
+func TestFlushEverywhereClearsAllLevels(t *testing.T) {
+	mc := memctl.New(memctl.DefaultConfig())
+	h := New(DefaultConfig(), mc)
+	// Dirty the line in L1, push a copy down by conflicting loads so L2
+	// holds it too, then flush: no level may retain a dirty copy.
+	h.Store(0x0, 0)
+	// L1 has 64 sets: lines 4096 bytes apart conflict in L1 but not L2.
+	for i := 1; i <= 8; i++ {
+		h.Load(uint64(i*4096), uint64(i*100))
+	}
+	h.Flush(0x0, 10000, false)
+	if h.Dirty(0x0) {
+		t.Fatal("dirty copy survived a flush")
+	}
+	// A pcommit after the flush must cover the line's writeback (if the
+	// line was still dirty anywhere).
+	done := mc.Pcommit(10100)
+	if done < 10100 {
+		t.Fatal("bogus pcommit completion")
+	}
+}
+
+func TestWritebackOnlyOnceForCleanHierarchy(t *testing.T) {
+	mc := memctl.New(memctl.DefaultConfig())
+	h := New(DefaultConfig(), mc)
+	h.Store(0x40, 0)
+	h.Flush(0x40, 100, false)
+	w := mc.Stats().Writes
+	h.Flush(0x40, 200, false)
+	h.Flush(0x40, 300, true)
+	if mc.Stats().Writes != w {
+		t.Fatalf("clean flushes wrote back: %d -> %d", w, mc.Stats().Writes)
+	}
+}

@@ -1,0 +1,157 @@
+// Package core is the public facade of the specpersist simulator: it wires
+// the memory controller, cache hierarchy and out-of-order core together,
+// names the paper's benchmark variants, and runs instruction traces under
+// them.
+//
+// The five variants match Figure 8 of the paper:
+//
+//	Base      — the original data structure, no logging, no persistence.
+//	Log       — write-ahead undo logging added.
+//	Log+P     — PMEM instructions (clwb/clflushopt/pcommit) added.
+//	Log+P+Sf  — sfences added: the only failure-safe configuration.
+//	SP        — Log+P+Sf hardware-accelerated by Speculative Persistence.
+package core
+
+import (
+	"fmt"
+
+	"specpersist/internal/cache"
+	"specpersist/internal/cpu"
+	"specpersist/internal/exec"
+	"specpersist/internal/memctl"
+	"specpersist/internal/trace"
+)
+
+// Variant selects a benchmark configuration from Figure 8.
+type Variant int
+
+const (
+	// VariantBase runs the non-transactional structure.
+	VariantBase Variant = iota
+	// VariantLog adds undo logging but elides persistence instructions.
+	VariantLog
+	// VariantLogP adds PMEM instructions but elides fences.
+	VariantLogP
+	// VariantLogPSf is the complete failure-safe software.
+	VariantLogPSf
+	// VariantSP is VariantLogPSf running on Speculative Persistence
+	// hardware.
+	VariantSP
+
+	numVariants
+)
+
+// Variants lists all variants in Figure 8 order.
+func Variants() []Variant {
+	return []Variant{VariantBase, VariantLog, VariantLogP, VariantLogPSf, VariantSP}
+}
+
+// String returns the paper's bar label.
+func (v Variant) String() string {
+	switch v {
+	case VariantBase:
+		return "Base"
+	case VariantLog:
+		return "Log"
+	case VariantLogP:
+		return "Log+P"
+	case VariantLogPSf:
+		return "Log+P+Sf"
+	case VariantSP:
+		return "SP"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ParseVariant resolves a bar label back to a Variant.
+func ParseVariant(s string) (Variant, error) {
+	for _, v := range Variants() {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown variant %q", s)
+}
+
+// Transactional reports whether the variant runs the undo-logging code.
+func (v Variant) Transactional() bool { return v != VariantBase }
+
+// Level maps the variant to the trace-emission level of the software.
+func (v Variant) Level() exec.Level {
+	switch v {
+	case VariantBase, VariantLog:
+		return exec.LevelLog
+	case VariantLogP:
+		return exec.LevelLogP
+	default:
+		return exec.LevelFull
+	}
+}
+
+// Speculative reports whether the hardware runs Speculative Persistence.
+func (v Variant) Speculative() bool { return v == VariantSP }
+
+// Options assembles a full system configuration. The zero value is not
+// valid; start from DefaultOptions.
+type Options struct {
+	CPU   cpu.Config
+	Cache cache.Config
+	Mem   memctl.Config
+	// Controllers is the number of interleaved memory controllers (the
+	// paper's pcommit gathers acknowledgements from all of them);
+	// 0 or 1 means a single controller.
+	Controllers int
+}
+
+// DefaultOptions returns the paper's Table 2 baseline system.
+func DefaultOptions() Options {
+	return Options{
+		CPU:   cpu.DefaultConfig(),
+		Cache: cache.DefaultConfig(),
+		Mem:   memctl.DefaultConfig(),
+	}
+}
+
+// WithSP enables Speculative Persistence with the given SSB size, keeping
+// the paper's other SP parameters.
+func (o Options) WithSP(ssbEntries int) Options {
+	spc := cpu.DefaultSPConfig()
+	spc.SSBEntries = ssbEntries
+	o.CPU.SP = spc
+	return o
+}
+
+// System is one simulated machine instance.
+type System struct {
+	MC    memctl.Memory
+	Cache *cache.Hierarchy
+	CPU   *cpu.CPU
+}
+
+// NewSystem builds a machine from options.
+func NewSystem(o Options) *System {
+	var mc memctl.Memory
+	if o.Controllers > 1 {
+		mc = memctl.NewMulti(o.Controllers, o.Mem)
+	} else {
+		mc = memctl.New(o.Mem)
+	}
+	h := cache.New(o.Cache, mc)
+	return &System{MC: mc, Cache: h, CPU: cpu.New(o.CPU, h, mc)}
+}
+
+// NewSystemFor builds the machine a variant runs on: the Table 2 baseline,
+// with SP256 hardware for VariantSP.
+func NewSystemFor(v Variant, o Options) *System {
+	if v.Speculative() && !o.CPU.SP.Enabled {
+		o = o.WithSP(cpu.DefaultSPConfig().SSBEntries)
+	}
+	if !v.Speculative() {
+		o.CPU.SP = cpu.SPConfig{}
+	}
+	return NewSystem(o)
+}
+
+// Run simulates a trace to completion.
+func (s *System) Run(src trace.Source) cpu.Stats { return s.CPU.Run(src) }

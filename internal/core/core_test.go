@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"specpersist/internal/exec"
+	"specpersist/internal/isa"
+	"specpersist/internal/trace"
+)
+
+func TestVariantStrings(t *testing.T) {
+	want := map[Variant]string{
+		VariantBase: "Base", VariantLog: "Log", VariantLogP: "Log+P",
+		VariantLogPSf: "Log+P+Sf", VariantSP: "SP",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+		back, err := ParseVariant(s)
+		if err != nil || back != v {
+			t.Errorf("ParseVariant(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParseVariant("nope"); err == nil {
+		t.Error("ParseVariant accepted garbage")
+	}
+	if len(Variants()) != 5 {
+		t.Errorf("Variants() = %v", Variants())
+	}
+}
+
+func TestVariantProperties(t *testing.T) {
+	if VariantBase.Transactional() {
+		t.Error("Base should not be transactional")
+	}
+	for _, v := range []Variant{VariantLog, VariantLogP, VariantLogPSf, VariantSP} {
+		if !v.Transactional() {
+			t.Errorf("%v should be transactional", v)
+		}
+	}
+	if VariantLog.Level() != exec.LevelLog {
+		t.Error("Log level wrong")
+	}
+	if VariantLogP.Level() != exec.LevelLogP {
+		t.Error("Log+P level wrong")
+	}
+	if VariantLogPSf.Level() != exec.LevelFull || VariantSP.Level() != exec.LevelFull {
+		t.Error("full levels wrong")
+	}
+	if VariantLogPSf.Speculative() || !VariantSP.Speculative() {
+		t.Error("Speculative() wrong")
+	}
+}
+
+func TestNewSystemFor(t *testing.T) {
+	opts := DefaultOptions()
+	// Non-speculative variants must not carry SP hardware even if the
+	// options enable it.
+	withSP := opts.WithSP(128)
+	sys := NewSystemFor(VariantLogPSf, withSP)
+	if sys.CPU == nil || sys.Cache == nil || sys.MC == nil {
+		t.Fatal("system wiring incomplete")
+	}
+	// SP variant auto-enables SP256 when the options don't.
+	sys = NewSystemFor(VariantSP, DefaultOptions())
+	var tb trace.Buffer
+	bld := trace.NewBuilder(&tb)
+	bld.Store(0x1000, 8, isa.NoReg, isa.NoReg)
+	bld.Clwb(0x1000)
+	bld.Sfence()
+	bld.Pcommit()
+	bld.Sfence()
+	for i := 0; i < 50; i++ {
+		bld.ALU(0)
+	}
+	st := sys.Run(&tb)
+	if st.SpecEntries == 0 {
+		t.Error("SP system never speculated on a barrier trace")
+	}
+}
+
+func TestMultiControllerSystem(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Controllers = 4
+	sys := NewSystem(opts)
+	var tb trace.Buffer
+	bld := trace.NewBuilder(&tb)
+	// Writes interleave across controllers; a pcommit must cover all.
+	for i := 0; i < 8; i++ {
+		addr := uint64(0x1000 + i*64)
+		bld.Store(addr, 8, isa.NoReg, isa.NoReg)
+		bld.Clwb(addr)
+	}
+	bld.Sfence()
+	bld.Pcommit()
+	bld.Sfence()
+	st := sys.Run(&tb)
+	if st.Committed != uint64(tb.Len()) {
+		t.Fatalf("committed %d of %d", st.Committed, tb.Len())
+	}
+	if st.Mem.Writes != 8 {
+		t.Fatalf("controller writes = %d", st.Mem.Writes)
+	}
+	// 4 controllers saw the broadcast pcommit.
+	if st.Mem.Pcommits != 4 {
+		t.Fatalf("controller pcommits = %d, want 4 (broadcast)", st.Mem.Pcommits)
+	}
+}
+
+func TestWithSPOverridesSize(t *testing.T) {
+	o := DefaultOptions().WithSP(512)
+	if !o.CPU.SP.Enabled || o.CPU.SP.SSBEntries != 512 {
+		t.Errorf("WithSP: %+v", o.CPU.SP)
+	}
+	if o.CPU.SP.Checkpoints != 4 || o.CPU.SP.BloomBytes != 512 {
+		t.Error("WithSP changed unrelated SP parameters")
+	}
+}

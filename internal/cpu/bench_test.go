@@ -1,0 +1,33 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSimThroughput measures simulator speed: simulated instructions
+// per wall-clock second on a mixed random trace, without and with SP.
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		sp   SPConfig
+	}{
+		{"baseline", SPConfig{}},
+		{"sp256", DefaultSPConfig()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			tb := randomTrace(rng, 20000)
+			b.SetBytes(0)
+			b.ResetTimer()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				c, _ := newSystem(cfg.sp)
+				tb.Rewind()
+				st := c.Run(tb)
+				instrs += st.Committed
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}

@@ -1,0 +1,364 @@
+// Package cpu is the trace-driven out-of-order core timing model, the
+// stand-in for the paper's MarssX86 simulator (Table 2): a 4-wide
+// issue/retire core with a 128-entry ROB, 48-entry fetch queue, issue
+// queue and LSQ, fences with PMEM ordering semantics, and optionally the
+// paper's Speculative Persistence (SP) architecture — checkpoints, a
+// speculative store buffer with a Bloom filter, delayed PMEM instructions,
+// and multiple speculative epochs committing in order (§4).
+package cpu
+
+import (
+	"math"
+
+	"specpersist/internal/cache"
+	"specpersist/internal/isa"
+	"specpersist/internal/mem"
+	"specpersist/internal/memctl"
+	"specpersist/internal/sp"
+	"specpersist/internal/trace"
+)
+
+// SPConfig configures Speculative Persistence.
+type SPConfig struct {
+	Enabled     bool
+	SSBEntries  int // speculative store buffer capacity (Table 3 sizes)
+	Checkpoints int // checkpoint buffer entries (4 in the paper)
+	BloomBytes  int // Bloom filter size (512 bytes in the paper)
+
+	// UseBloom gates loads through the Bloom filter before paying the SSB
+	// CAM latency. Disabling it (ablation) charges every speculative load
+	// the SSB lookup.
+	UseBloom bool
+	// CollapseBarrierPair devotes a single checkpoint to an
+	// sfence–pcommit–sfence sequence (§4.2.2). Disabling it (ablation)
+	// burns one checkpoint per fence.
+	CollapseBarrierPair bool
+	// DelayPMEMOps buffers PMEM instructions encountered inside a
+	// speculative epoch and replays them at commit (§4.1). Disabling it
+	// (ablation) stalls retirement at the first in-shadow PMEM
+	// instruction until speculation drains, as most prior speculation
+	// schemes would.
+	DelayPMEMOps bool
+}
+
+// DefaultSPConfig returns the paper's SP design point (SP256).
+func DefaultSPConfig() SPConfig {
+	return SPConfig{
+		Enabled:             true,
+		SSBEntries:          256,
+		Checkpoints:         4,
+		BloomBytes:          512,
+		UseBloom:            true,
+		CollapseBarrierPair: true,
+		DelayPMEMOps:        true,
+	}
+}
+
+// Config sizes the core (Table 2 defaults via DefaultConfig).
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	RetireWidth int
+	FetchQ      int
+	IssueQ      int
+	LSQ         int
+	ROB         int
+	StoreBuf    int // post-retirement store buffer entries
+
+	// IssueWindow bounds how many un-issued ROB entries the scheduler
+	// examines per cycle.
+	IssueWindow int
+
+	// RollbackPenalty is the pipeline refill cost charged on a
+	// speculation abort.
+	RollbackPenalty uint64
+
+	SP SPConfig
+}
+
+// DefaultConfig returns the paper's Table 2 core without SP.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      4,
+		IssueWidth:      4,
+		RetireWidth:     4,
+		FetchQ:          48,
+		IssueQ:          48,
+		LSQ:             48,
+		ROB:             128,
+		StoreBuf:        48,
+		IssueWindow:     32,
+		RollbackPenalty: 24,
+	}
+}
+
+// Stats aggregates the counters the paper's figures are built from.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64 // retired instructions (Figure 9)
+
+	// FetchQStallCycles counts cycles in which the fetch stage could not
+	// insert any instruction because the fetch queue was full (Figure 10).
+	FetchQStallCycles uint64
+
+	Loads, Stores, ALUs           uint64
+	Clwbs, Clflushes              uint64
+	Pcommits, Sfences             uint64
+	MaxConcurrentPcommits         int    // Figure 11
+	StoresWhilePcommitOutstanding uint64 // Figure 12 numerator (incl. flushes)
+
+	// Speculative persistence.
+	SpecEntries         uint64 // times the core entered speculation
+	SpecEpochs          uint64 // total epochs (incl. children)
+	CheckpointStalls    uint64 // retirement stalls for a free checkpoint
+	SSBFullStalls       uint64 // retirement stalls for a free SSB slot
+	SSBMaxUsed          int
+	CheckpointsMaxUsed  int
+	SSBForwards         uint64 // loads forwarded from the SSB
+	BloomQueries        uint64
+	BloomPositives      uint64
+	BloomFalsePositives uint64 // Bloom hit without an SSB match (Figure 14)
+	DelayedPMEMOps      uint64 // PMEM instructions deferred to epoch commit
+	Rollbacks           uint64
+
+	// Retirement-stall attribution: cycles in which retirement was cut
+	// short by a complete-but-blocked ROB head, by cause (the cycle may
+	// still have retired older instructions before blocking).
+	// Together these decompose the Figure 10 story: what the fences
+	// actually cost, and what residual stalls SP leaves.
+	StallFenceCycles      uint64 // sfence waiting on stores/flushes/pcommits
+	StallCheckpointCycles uint64 // speculation wanted a free checkpoint
+	StallSSBFullCycles    uint64 // speculative store buffer out of entries
+	StallStoreBufCycles   uint64 // post-retirement store buffer full
+	StallFlushOrderCycles uint64 // clwb waiting for an older same-line store
+	StallNoDelayCycles    uint64 // PMEM op in shadow with DelayPMEMOps off
+	StallHoldCycles       uint64 // post-rollback ordering hold
+
+	Cache cache.Stats
+	Mem   memctl.Stats
+}
+
+// BloomFalsePositiveRate returns false positives per Bloom query.
+func (s Stats) BloomFalsePositiveRate() float64 {
+	if s.BloomQueries == 0 {
+		return 0
+	}
+	return float64(s.BloomFalsePositives) / float64(s.BloomQueries)
+}
+
+// AvgStoresPerPcommit returns Figure 12's metric: speculative-window
+// stores (including flushes) executed while a pcommit was outstanding,
+// divided by the number of pcommits.
+func (s Stats) AvgStoresPerPcommit() float64 {
+	if s.Pcommits == 0 {
+		return 0
+	}
+	return float64(s.StoresWhilePcommitOutstanding) / float64(s.Pcommits)
+}
+
+const (
+	notIssued   = math.MaxUint64 // doneCycle sentinel: not yet issued
+	regUnknown  = math.MaxUint64 // pendingRegs sentinel: producer not executed
+	tailEpochID = -1             // SSB entries buffered after all epochs committed
+)
+
+type robEntry struct {
+	in   isa.Instr
+	seq  uint64 // dispatch order, for memory-dependence checks
+	done uint64 // completion cycle; notIssued until executed
+}
+
+type sbEntry struct {
+	addr uint64
+	size uint8
+}
+
+// epoch is one speculative epoch (§4.2.1).
+type epoch struct {
+	id int
+	// needsPcommit marks an sfence–pcommit–sfence boundary: the commit
+	// engine must issue a pcommit (and await it) after the previous epoch
+	// fully commits and before this epoch's entries drain.
+	needsPcommit bool
+	// waitUntil is the cycle the epoch's boundary is satisfied. For the
+	// first epoch it is the ack time of the pcommit the sfence was
+	// blocked on; for children it is set when the boundary pcommit is
+	// issued by the commit engine.
+	waitUntil uint64
+	// barrierIssued marks that the boundary pcommit has been issued.
+	barrierIssued bool
+	// remaining counts this epoch's entries still in the SSB.
+	remaining int
+	// visibleMax tracks the completion time of drained entries.
+	visibleMax uint64
+	// checkpoints consumed by this epoch (1, or 2 with the collapse
+	// optimization disabled).
+	checkpoints int
+	// fetchPos is the trace position of the instruction following the
+	// checkpointed fence (for rollback).
+	fetchPos uint64
+}
+
+// CPU is the core model. Create with New, run a trace with Run.
+type CPU struct {
+	cfg Config
+	h   *cache.Hierarchy
+	mc  memctl.Memory
+
+	now uint64
+
+	src        trace.Source
+	srcDone    bool
+	fetchPos   uint64 // instructions fetched so far
+	fetchQ     []isa.Instr
+	rob        []robEntry
+	unissued   int // ROB entries not yet executed
+	lsqCount   int // loads+stores in ROB
+	pendingReg map[isa.Reg]uint64
+
+	// Post-retirement store buffer (non-speculative path).
+	storeBuf        []sbEntry
+	sbDrainFree     uint64 // next cycle the L1 write port is free
+	storeVisibleMax uint64 // all retired stores visible by this cycle
+	// lineVis tracks, per cache line, when the latest store to it becomes
+	// visible: clwb is ordered after older stores to the same line.
+	lineVis map[uint64]uint64
+	// storesByLine holds the dispatch sequence numbers of in-ROB stores
+	// per cache line: a load may not issue past an older same-line store.
+	storesByLine map[uint64][]uint64
+	seq          uint64
+
+	// PMEM completion tracking.
+	flushAckMax   uint64   // all clwb/clflushopt acks received by this cycle
+	pcommitDones  []uint64 // outstanding pcommit completion times
+	pcommitMax    uint64   // all pcommits complete by this cycle
+	retireHoldTil uint64   // post-rollback ordering hold
+
+	// Speculative persistence state.
+	spEnabled bool
+	ssb       *sp.SSB
+	bloom     *sp.Bloom
+	ckpts     *sp.Checkpoints
+	blt       *sp.BLT
+	epochs    []*epoch
+	nextEpoch int
+	// boundary recognition state while speculating: 0 none, 1 saw sfence,
+	// 2 saw sfence+pcommit.
+	boundaryState int
+	commitFree    uint64 // SSB drain port availability
+
+	// lastStall records why the most recent retirement attempt blocked.
+	lastStall *uint64
+
+	stats Stats
+}
+
+// New builds a core over the given cache hierarchy and memory.
+func New(cfg Config, h *cache.Hierarchy, mc memctl.Memory) *CPU {
+	c := &CPU{cfg: cfg, h: h, mc: mc,
+		pendingReg:   make(map[isa.Reg]uint64),
+		lineVis:      make(map[uint64]uint64),
+		storesByLine: make(map[uint64][]uint64),
+	}
+	if cfg.SP.Enabled {
+		c.spEnabled = true
+		c.ssb = sp.NewSSB(cfg.SP.SSBEntries)
+		c.ckpts = sp.NewCheckpoints(cfg.SP.Checkpoints)
+		c.blt = sp.NewBLT()
+		if cfg.SP.UseBloom {
+			c.bloom = sp.NewBloom(cfg.SP.BloomBytes)
+		}
+	}
+	return c
+}
+
+// Now returns the current cycle.
+func (c *CPU) Now() uint64 { return c.now }
+
+// Stats returns the counters accumulated so far, including cache and
+// memory-controller statistics.
+func (c *CPU) Stats() Stats {
+	st := c.stats
+	st.Cycles = c.now
+	st.Cache = c.h.Stats()
+	st.Mem = c.mc.Stats()
+	if c.ssb != nil {
+		st.SSBMaxUsed = c.ssb.MaxUsed()
+	}
+	if c.ckpts != nil {
+		st.CheckpointsMaxUsed = c.ckpts.MaxUsed()
+		st.CheckpointStalls = c.ckpts.Stalls()
+	}
+	return st
+}
+
+// outstandingPcommits prunes and returns the number of pcommits still in
+// flight at the current cycle.
+func (c *CPU) outstandingPcommits() int {
+	keep := c.pcommitDones[:0]
+	for _, d := range c.pcommitDones {
+		if d > c.now {
+			keep = append(keep, d)
+		}
+	}
+	c.pcommitDones = keep
+	return len(keep)
+}
+
+// noteLineVisible records when a drained store's line content is in place.
+func (c *CPU) noteLineVisible(addr uint64, done uint64) {
+	line := mem.LineAddr(addr)
+	if done > c.lineVis[line] {
+		c.lineVis[line] = done
+	}
+	if len(c.lineVis) > 4096 {
+		for l, v := range c.lineVis {
+			if v <= c.now {
+				delete(c.lineVis, l)
+			}
+		}
+	}
+}
+
+// lineVisibleAt returns the earliest cycle >= now at which all drained
+// stores to addr's line are visible.
+func (c *CPU) lineVisibleAt(addr uint64) uint64 {
+	line := mem.LineAddr(addr)
+	v, ok := c.lineVis[line]
+	if !ok || v <= c.now {
+		if ok {
+			delete(c.lineVis, line)
+		}
+		return c.now
+	}
+	return v
+}
+
+// memReady reports whether a load at the given dispatch sequence may
+// access memory: no older store to the same line may still be in the ROB
+// (it would forward from the store queue; we model that as issue ordering).
+func (c *CPU) memReady(seq uint64, addr uint64) bool {
+	list := c.storesByLine[mem.LineAddr(addr)]
+	return len(list) == 0 || list[0] >= seq
+}
+
+// storeBufHasLine reports whether an undrained store targets addr's line.
+func (c *CPU) storeBufHasLine(addr uint64) bool {
+	line := mem.LineAddr(addr)
+	for _, e := range c.storeBuf {
+		if mem.LineAddr(e.addr) == line {
+			return true
+		}
+	}
+	return false
+}
+
+// speculating reports whether any speculative epoch is live.
+func (c *CPU) speculating() bool { return len(c.epochs) > 0 }
+
+// buffering reports whether retired stores must route through the SSB:
+// during speculation, and afterwards while the SSB still drains (store
+// ordering, §5.1).
+func (c *CPU) buffering() bool {
+	return c.spEnabled && (len(c.epochs) > 0 || c.ssb.Len() > 0)
+}

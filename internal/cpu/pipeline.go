@@ -1,0 +1,521 @@
+package cpu
+
+import (
+	"specpersist/internal/isa"
+	"specpersist/internal/mem"
+	"specpersist/internal/trace"
+)
+
+// Run simulates the instruction stream to completion and returns the final
+// statistics.
+func (c *CPU) Run(src trace.Source) Stats {
+	c.src = src
+	c.srcDone = false
+	idleSteps := 0
+	for !c.finished() {
+		progress := false
+		progress = c.retire() || progress
+		progress = c.commitEngineStep() || progress
+		progress = c.drainStoreBuffer() || progress
+		progress = c.issue() || progress
+		progress = c.dispatch() || progress
+		progress = c.fetch() || progress
+		if progress {
+			c.now++
+			idleSteps = 0
+			continue
+		}
+		c.now = c.nextEvent()
+		if idleSteps++; idleSteps > 1<<24 {
+			panic("cpu: pipeline deadlock (no progress for 16M events)")
+		}
+	}
+	return c.Stats()
+}
+
+// finished reports whether all pipeline and persistence state has drained.
+func (c *CPU) finished() bool {
+	if !c.srcDone || len(c.fetchQ) > 0 || len(c.rob) > 0 || len(c.storeBuf) > 0 {
+		return false
+	}
+	if c.spEnabled && (len(c.epochs) > 0 || c.ssb.Len() > 0) {
+		return false
+	}
+	// Let outstanding persists land so final stats are settled.
+	return c.storeVisibleMax <= c.now && c.flushAckMax <= c.now && c.pcommitMax <= c.now
+}
+
+// nextEvent returns the earliest future cycle at which progress can resume.
+func (c *CPU) nextEvent() uint64 {
+	next := uint64(1<<63 - 1)
+	consider := func(t uint64) {
+		if t > c.now && t < next {
+			next = t
+		}
+	}
+	// ROB completions and readiness.
+	window := c.cfg.IssueWindow
+	for i := range c.rob {
+		e := &c.rob[i]
+		if e.done != notIssued {
+			consider(e.done)
+			continue
+		}
+		if window == 0 {
+			continue
+		}
+		window--
+		consider(c.readyAt(e.in))
+	}
+	consider(c.sbDrainFree)
+	consider(c.storeVisibleMax)
+	consider(c.flushAckMax)
+	consider(c.pcommitMax)
+	consider(c.retireHoldTil)
+	consider(c.commitFree)
+	for _, ep := range c.epochs {
+		if ep.barrierIssued || !ep.needsPcommit {
+			consider(ep.waitUntil)
+		}
+	}
+	if next == uint64(1<<63-1) {
+		return c.now + 1
+	}
+	return next
+}
+
+// readyAt returns the cycle an instruction's source operands are ready.
+func (c *CPU) readyAt(in isa.Instr) uint64 {
+	t := c.now
+	for _, src := range []isa.Reg{in.Src1, in.Src2} {
+		if src == isa.NoReg {
+			continue
+		}
+		if r, ok := c.pendingReg[src]; ok && r > t {
+			t = r
+		}
+	}
+	return t
+}
+
+// fetch pulls up to FetchWidth instructions into the fetch queue. A cycle
+// in which the full queue prevents any fetch counts as a fetch-queue stall
+// (Figure 10).
+func (c *CPU) fetch() bool {
+	if c.srcDone {
+		return false
+	}
+	if len(c.fetchQ) >= c.cfg.FetchQ {
+		c.stats.FetchQStallCycles++
+		return false
+	}
+	fetched := false
+	for i := 0; i < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQ; i++ {
+		in, ok := c.src.Next()
+		if !ok {
+			c.srcDone = true
+			break
+		}
+		c.fetchPos++
+		c.fetchQ = append(c.fetchQ, in)
+		fetched = true
+	}
+	return fetched
+}
+
+// dispatch moves instructions from the fetch queue into the ROB, bounded by
+// ROB, issue-queue, and LSQ occupancy.
+func (c *CPU) dispatch() bool {
+	moved := false
+	for i := 0; i < c.cfg.IssueWidth && len(c.fetchQ) > 0; i++ {
+		if len(c.rob) >= c.cfg.ROB || c.unissued >= c.cfg.IssueQ {
+			break
+		}
+		in := c.fetchQ[0]
+		if in.Op.IsMemAccess() && c.lsqCount >= c.cfg.LSQ {
+			break
+		}
+		c.fetchQ = c.fetchQ[1:]
+		if in.Op.IsMemAccess() {
+			c.lsqCount++
+		}
+		if in.Dst != isa.NoReg {
+			c.pendingReg[in.Dst] = regUnknown
+		}
+		c.seq++
+		if in.Op == isa.Store {
+			line := mem.LineAddr(in.Addr)
+			c.storesByLine[line] = append(c.storesByLine[line], c.seq)
+		}
+		c.rob = append(c.rob, robEntry{in: in, seq: c.seq, done: notIssued})
+		c.unissued++
+		moved = true
+	}
+	return moved
+}
+
+// issue executes up to IssueWidth ready instructions from the scheduler
+// window (oldest first).
+func (c *CPU) issue() bool {
+	issued := 0
+	examined := 0
+	for i := range c.rob {
+		if issued >= c.cfg.IssueWidth || examined >= c.cfg.IssueWindow {
+			break
+		}
+		e := &c.rob[i]
+		if e.done != notIssued {
+			continue
+		}
+		examined++
+		if c.readyAt(e.in) > c.now {
+			continue
+		}
+		if e.in.Op == isa.Load && !c.memReady(e.seq, e.in.Addr) {
+			continue
+		}
+		c.execute(e)
+		c.unissued--
+		issued++
+	}
+	return issued > 0
+}
+
+// execute computes an instruction's completion time.
+func (c *CPU) execute(e *robEntry) {
+	in := e.in
+	switch in.Op {
+	case isa.ALU:
+		lat := uint64(in.Lat)
+		if lat == 0 {
+			lat = 1
+		}
+		e.done = c.now + lat
+	case isa.Load:
+		e.done = c.loadDone(in)
+	case isa.Store:
+		// Address/data are ready; the write happens at retirement.
+		e.done = c.now + 1
+	default:
+		// PMEM instructions and fences carry no execution stage; their
+		// work happens at retirement.
+		e.done = c.now + 1
+	}
+	if in.Dst != isa.NoReg {
+		c.pendingReg[in.Dst] = e.done
+	}
+}
+
+// loadDone models a load's memory access, including the SSB path while the
+// core is buffering speculative state (§5.1): the Bloom filter screens the
+// SSB; a positive pays the SSB CAM latency, and a match forwards from the
+// buffer.
+func (c *CPU) loadDone(in isa.Instr) uint64 {
+	start := c.now
+	if c.buffering() && c.ssb.Len() > 0 {
+		if c.speculating() {
+			c.blt.Record(in.Addr)
+		}
+		checkSSB := true
+		if c.bloom != nil {
+			c.stats.BloomQueries++
+			if c.bloom.MayContain(in.Addr) {
+				c.stats.BloomPositives++
+			} else {
+				checkSSB = false
+			}
+		}
+		if checkSSB {
+			start += c.ssb.Latency()
+			if c.ssb.MatchLoad(in.Addr, int(in.Size)) {
+				c.stats.SSBForwards++
+				return start
+			}
+			if c.bloom != nil {
+				c.stats.BloomFalsePositives++
+			}
+		}
+	}
+	return c.h.Load(in.Addr, start)
+}
+
+// retire commits up to RetireWidth instructions in order.
+func (c *CPU) retire() bool {
+	retired := 0
+	blocked := false
+	for retired < c.cfg.RetireWidth && len(c.rob) > 0 {
+		e := &c.rob[0]
+		if e.done == notIssued || e.done > c.now {
+			break
+		}
+		c.lastStall = nil
+		if !c.retireOne(e.in) {
+			blocked = true
+			break // structural or ordering stall at the head
+		}
+		if e.in.Dst != isa.NoReg {
+			delete(c.pendingReg, e.in.Dst)
+		}
+		if e.in.Op.IsMemAccess() {
+			c.lsqCount--
+		}
+		if e.in.Op == isa.Store {
+			line := mem.LineAddr(e.in.Addr)
+			list := c.storesByLine[line]
+			if len(list) == 0 || list[0] != e.seq {
+				panic("cpu: store retirement out of line order")
+			}
+			if len(list) == 1 {
+				delete(c.storesByLine, line)
+			} else {
+				c.storesByLine[line] = list[1:]
+			}
+		}
+		c.rob = c.rob[1:]
+		c.stats.Committed++
+		retired++
+	}
+	if blocked && c.lastStall != nil {
+		*c.lastStall++
+	}
+	return retired > 0
+}
+
+// retireOne applies one instruction's retirement semantics; it returns
+// false if the instruction must stay at the ROB head this cycle.
+func (c *CPU) retireOne(in isa.Instr) bool {
+	if c.retireHoldTil > c.now && (in.Op == isa.Store || in.Op.IsPMEM()) {
+		c.lastStall = &c.stats.StallHoldCycles
+		return false
+	}
+	switch in.Op {
+	case isa.ALU:
+		c.stats.ALUs++
+		return true
+	case isa.Load:
+		c.stats.Loads++
+		return true
+	case isa.Store:
+		return c.retireStore(in)
+	case isa.Clwb, isa.Clflushopt, isa.Clflush:
+		return c.retireFlush(in)
+	case isa.Pcommit:
+		return c.retirePcommit()
+	case isa.Sfence, isa.Mfence:
+		return c.retireFence()
+	default:
+		panic("cpu: unknown opcode at retirement")
+	}
+}
+
+func (c *CPU) noteStoreWhilePcommit() {
+	if c.outstandingPcommits() > 0 {
+		c.stats.StoresWhilePcommitOutstanding++
+	}
+}
+
+func (c *CPU) retireStore(in isa.Instr) bool {
+	if c.buffering() {
+		if c.boundaryState != 0 {
+			c.finalizeBoundary()
+			if c.boundaryState != 0 {
+				c.lastStall = &c.stats.StallCheckpointCycles
+				return false // waiting for a checkpoint
+			}
+		}
+		if !c.pushSSB(spStoreEntry(in, c.currentEpochID())) {
+			c.stats.SSBFullStalls++
+			c.lastStall = &c.stats.StallSSBFullCycles
+			return false
+		}
+		if c.speculating() {
+			c.blt.Record(in.Addr)
+		}
+		if c.bloom != nil {
+			c.bloom.Add(in.Addr)
+		}
+		c.stats.Stores++
+		c.noteStoreWhilePcommit()
+		return true
+	}
+	if len(c.storeBuf) >= c.cfg.StoreBuf {
+		c.lastStall = &c.stats.StallStoreBufCycles
+		return false
+	}
+	c.storeBuf = append(c.storeBuf, sbEntry{addr: in.Addr, size: in.Size})
+	c.stats.Stores++
+	c.noteStoreWhilePcommit()
+	return true
+}
+
+func (c *CPU) retireFlush(in isa.Instr) bool {
+	if c.buffering() {
+		if c.boundaryState != 0 {
+			c.finalizeBoundary()
+			if c.boundaryState != 0 {
+				c.lastStall = &c.stats.StallCheckpointCycles
+				return false
+			}
+		}
+		if !c.cfg.SP.DelayPMEMOps && c.speculating() {
+			// Ablation: PMEM ops cannot execute speculatively and are not
+			// delayed — stall until speculation fully drains.
+			c.lastStall = &c.stats.StallNoDelayCycles
+			return false
+		}
+		if !c.pushSSB(spFlushEntry(in, c.currentEpochID())) {
+			c.stats.SSBFullStalls++
+			c.lastStall = &c.stats.StallSSBFullCycles
+			return false
+		}
+		c.stats.DelayedPMEMOps++
+		c.countFlush(in)
+		c.noteStoreWhilePcommit()
+		return true
+	}
+	// clwb is ordered after older stores to the same line: the writeback
+	// must carry their data.
+	if c.storeBufHasLine(in.Addr) {
+		c.lastStall = &c.stats.StallFlushOrderCycles
+		return false
+	}
+	ack := c.h.Flush(in.Addr, c.lineVisibleAt(in.Addr), in.Op != isa.Clwb)
+	if ack > c.flushAckMax {
+		c.flushAckMax = ack
+	}
+	c.countFlush(in)
+	c.noteStoreWhilePcommit()
+	return true
+}
+
+func (c *CPU) countFlush(in isa.Instr) {
+	if in.Op == isa.Clwb {
+		c.stats.Clwbs++
+	} else {
+		c.stats.Clflushes++
+	}
+}
+
+func (c *CPU) retirePcommit() bool {
+	if c.buffering() {
+		if c.boundaryState == 1 {
+			// Part of an sfence–pcommit(–sfence) barrier.
+			c.boundaryState = 2
+			c.stats.Pcommits++
+			return true
+		}
+		if !c.cfg.SP.DelayPMEMOps && c.speculating() {
+			c.lastStall = &c.stats.StallNoDelayCycles
+			return false
+		}
+		if !c.pushSSB(spPcommitEntry(c.currentEpochID())) {
+			c.stats.SSBFullStalls++
+			c.lastStall = &c.stats.StallSSBFullCycles
+			return false
+		}
+		c.stats.DelayedPMEMOps++
+		c.stats.Pcommits++
+		return true
+	}
+	done := c.mc.Pcommit(c.now)
+	c.outstandingPcommits()
+	c.pcommitDones = append(c.pcommitDones, done)
+	if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
+		c.stats.MaxConcurrentPcommits = n
+	}
+	if done > c.pcommitMax {
+		c.pcommitMax = done
+	}
+	c.stats.Pcommits++
+	return true
+}
+
+// retireFence handles sfence/mfence, including speculation entry and child
+// epoch boundaries.
+func (c *CPU) retireFence() bool {
+	if c.speculating() {
+		// A fence inside a speculative region starts (or continues) an
+		// epoch boundary.
+		switch c.boundaryState {
+		case 0:
+			c.boundaryState = 1
+			c.stats.Sfences++
+			return true
+		case 1:
+			// sfence;sfence — finalize the plain boundary, then start a
+			// new one for this fence.
+			c.finalizeBoundary()
+			if c.boundaryState != 0 {
+				c.lastStall = &c.stats.StallCheckpointCycles
+				return false
+			}
+			c.boundaryState = 1
+			c.stats.Sfences++
+			return true
+		case 2:
+			// sfence;pcommit;sfence — the canonical persist barrier.
+			if !c.openChildEpoch(true) {
+				c.lastStall = &c.stats.StallCheckpointCycles
+				return false // no checkpoint free
+			}
+			c.boundaryState = 0
+			c.stats.Sfences++
+			return true
+		}
+	}
+
+	// Non-speculative (or tail-draining) fence: wait for stores, flushes
+	// and the SSB to drain.
+	storesDone := len(c.storeBuf) == 0 && c.storeVisibleMax <= c.now
+	ssbDone := !c.spEnabled || c.ssb.Len() == 0
+	flushesDone := c.flushAckMax <= c.now
+	pcommitsDone := c.pcommitMax <= c.now
+	if storesDone && ssbDone && flushesDone && pcommitsDone {
+		c.stats.Sfences++
+		return true
+	}
+	// Speculation triggers when the fence is blocked only on a pending
+	// pcommit (§4.2.1).
+	if c.spEnabled && storesDone && ssbDone && flushesDone && !pcommitsDone {
+		if !c.ckpts.Take() {
+			c.lastStall = &c.stats.StallCheckpointCycles
+			return false
+		}
+		c.stats.SpecEntries++
+		c.stats.SpecEpochs++
+		ep := &epoch{
+			id:          c.nextEpoch,
+			waitUntil:   c.pcommitMax,
+			checkpoints: 1,
+			fetchPos:    c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob)),
+		}
+		c.nextEpoch++
+		c.epochs = append(c.epochs, ep)
+		c.stats.Sfences++
+		return true
+	}
+	c.lastStall = &c.stats.StallFenceCycles
+	return false
+}
+
+// drainStoreBuffer issues one buffered (non-speculative) store per cycle to
+// the cache.
+func (c *CPU) drainStoreBuffer() bool {
+	if len(c.storeBuf) == 0 || c.sbDrainFree > c.now {
+		return false
+	}
+	e := c.storeBuf[0]
+	c.storeBuf = c.storeBuf[1:]
+	done := c.h.Store(e.addr, c.now)
+	if done > c.storeVisibleMax {
+		c.storeVisibleMax = done
+	}
+	c.noteLineVisible(e.addr, done)
+	c.sbDrainFree = c.now + 1
+	return true
+}
+
+// RunAll is a convenience wrapper running a materialized instruction slice.
+func (c *CPU) RunAll(ins []isa.Instr) Stats {
+	return c.Run(trace.SliceSource(ins))
+}

@@ -1,0 +1,261 @@
+package cpu
+
+import (
+	"specpersist/internal/isa"
+	"specpersist/internal/sp"
+)
+
+// spStoreEntry builds the SSB entry for a speculatively retired store.
+func spStoreEntry(in isa.Instr, epochID int) sp.Entry {
+	return sp.Entry{Op: isa.Store, Addr: in.Addr, Size: in.Size, Epoch: epochID}
+}
+
+// spFlushEntry builds the SSB entry for a delayed clwb/clflushopt/clflush.
+func spFlushEntry(in isa.Instr, epochID int) sp.Entry {
+	return sp.Entry{Op: in.Op, Addr: in.Addr, Epoch: epochID}
+}
+
+// spPcommitEntry builds the SSB entry for a delayed stand-alone pcommit.
+func spPcommitEntry(epochID int) sp.Entry {
+	return sp.Entry{Op: isa.Pcommit, Epoch: epochID}
+}
+
+// currentEpochID returns the epoch new SSB entries belong to: the youngest
+// live epoch, or the post-speculation tail.
+func (c *CPU) currentEpochID() int {
+	if len(c.epochs) == 0 {
+		return tailEpochID
+	}
+	return c.epochs[len(c.epochs)-1].id
+}
+
+// pushSSB appends an entry and maintains the owning epoch's entry count.
+func (c *CPU) pushSSB(e sp.Entry) bool {
+	if !c.ssb.Push(e) {
+		return false
+	}
+	if len(c.epochs) > 0 && e.Epoch == c.epochs[len(c.epochs)-1].id {
+		c.epochs[len(c.epochs)-1].remaining++
+	}
+	return true
+}
+
+// finalizeBoundary closes a pending fence boundary when a non-barrier
+// instruction reaches retirement: state 1 means a lone sfence, state 2
+// means sfence–pcommit without the trailing sfence. Either way a child
+// epoch opens; on checkpoint shortage the boundary state is left intact and
+// the caller stalls.
+func (c *CPU) finalizeBoundary() {
+	switch c.boundaryState {
+	case 1:
+		if c.openChildEpoch(false) {
+			c.boundaryState = 0
+		}
+	case 2:
+		if c.openChildEpoch(true) {
+			c.boundaryState = 0
+		}
+	}
+}
+
+// openChildEpoch begins a new speculative epoch at a barrier. With the
+// collapse optimization an sfence–pcommit–sfence costs one checkpoint;
+// with it disabled (ablation) the pair costs two.
+func (c *CPU) openChildEpoch(withPcommit bool) bool {
+	need := 1
+	if withPcommit && !c.cfg.SP.CollapseBarrierPair {
+		need = 2
+	}
+	for i := 0; i < need; i++ {
+		if !c.ckpts.Take() {
+			for ; i > 0; i-- {
+				c.ckpts.Release()
+			}
+			return false
+		}
+	}
+	ep := &epoch{
+		id:           c.nextEpoch,
+		needsPcommit: withPcommit,
+		checkpoints:  need,
+		fetchPos:     c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob)),
+	}
+	c.nextEpoch++
+	c.epochs = append(c.epochs, ep)
+	c.stats.SpecEpochs++
+	return true
+}
+
+// commitEngineStep advances the background commit of speculative state: the
+// oldest epoch waits for its boundary (the pending pcommit), then its SSB
+// entries drain in order — stores to the cache, delayed PMEM instructions
+// executed non-speculatively — and its checkpoint is released. Epochs
+// commit strictly in sequence (§4.1). Entries in the post-speculation tail
+// drain freely.
+func (c *CPU) commitEngineStep() bool {
+	if !c.spEnabled {
+		return false
+	}
+	if len(c.epochs) == 0 {
+		return c.drainTail()
+	}
+	head := c.epochs[0]
+	// Phase 1: satisfy the boundary.
+	if head.needsPcommit && !head.barrierIssued {
+		// The boundary pcommit orders everything the previous epochs made
+		// visible; it issues once nothing older remains in flight.
+		if c.storeVisibleMax > c.now || c.flushAckMax > c.now {
+			return false
+		}
+		done := c.mc.Pcommit(c.now)
+		c.outstandingPcommits()
+		c.pcommitDones = append(c.pcommitDones, done)
+		if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
+			c.stats.MaxConcurrentPcommits = n
+		}
+		head.barrierIssued = true
+		head.waitUntil = done
+		if done > c.pcommitMax {
+			c.pcommitMax = done
+		}
+		return true
+	}
+	if head.waitUntil > c.now {
+		return false
+	}
+	// Phase 2: drain this epoch's SSB entries (one per cycle).
+	if head.remaining > 0 {
+		if c.commitFree > c.now {
+			return false
+		}
+		e, ok := c.ssb.Front()
+		if !ok || e.Epoch != head.id {
+			panic("cpu: SSB front does not belong to the committing epoch")
+		}
+		c.ssb.Pop()
+		head.remaining--
+		c.drainEntry(e, head)
+		c.commitFree = c.now + 1
+		return true
+	}
+	// Phase 3: wait for the drained entries' effects, then release.
+	if head.visibleMax > c.now {
+		return false
+	}
+	for i := 0; i < head.checkpoints; i++ {
+		c.ckpts.Release()
+	}
+	c.epochs = c.epochs[1:]
+	if len(c.epochs) == 0 && c.ssb.Len() == 0 {
+		c.exitSpeculation()
+	}
+	return true
+}
+
+// drainEntry applies one SSB entry non-speculatively.
+func (c *CPU) drainEntry(e sp.Entry, ep *epoch) {
+	switch e.Op {
+	case isa.Store:
+		done := c.h.Store(e.Addr, c.now)
+		if done > c.storeVisibleMax {
+			c.storeVisibleMax = done
+		}
+		c.noteLineVisible(e.Addr, done)
+		if ep != nil && done > ep.visibleMax {
+			ep.visibleMax = done
+		}
+	case isa.Clwb, isa.Clflushopt, isa.Clflush:
+		ack := c.h.Flush(e.Addr, c.lineVisibleAt(e.Addr), e.Op != isa.Clwb)
+		if ack > c.flushAckMax {
+			c.flushAckMax = ack
+		}
+		if ep != nil && ack > ep.visibleMax {
+			ep.visibleMax = ack
+		}
+	case isa.Pcommit:
+		done := c.mc.Pcommit(c.now)
+		c.outstandingPcommits()
+		c.pcommitDones = append(c.pcommitDones, done)
+		if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
+			c.stats.MaxConcurrentPcommits = n
+		}
+		if done > c.pcommitMax {
+			c.pcommitMax = done
+		}
+	}
+}
+
+// drainTail drains post-speculation entries that only remain for store
+// ordering.
+func (c *CPU) drainTail() bool {
+	if c.ssb.Len() == 0 || c.commitFree > c.now {
+		return false
+	}
+	e, _ := c.ssb.Pop()
+	c.drainEntry(e, nil)
+	c.commitFree = c.now + 1
+	if c.ssb.Len() == 0 {
+		c.exitSpeculation()
+	}
+	return true
+}
+
+// exitSpeculation resets the speculative tracking structures once all
+// buffered state has committed.
+func (c *CPU) exitSpeculation() {
+	if c.bloom != nil {
+		c.bloom.Reset()
+	}
+	c.blt.Reset()
+	c.boundaryState = 0
+}
+
+// Seeker is the optional trace-source capability rollback needs: the CPU
+// rewinds the stream to the oldest checkpoint on an abort.
+type Seeker interface {
+	Seek(pos uint64)
+}
+
+// CoherenceProbe models an external coherence request to addr (§4.2.2).
+// A hit in the BLT aborts speculation: all speculative state is discarded,
+// every checkpoint released, and execution restarts at the oldest
+// checkpoint. It returns true if a rollback happened. The trace source must
+// implement Seeker for rollback to be possible.
+func (c *CPU) CoherenceProbe(addr uint64) bool {
+	if !c.spEnabled || !c.speculating() || !c.blt.Conflicts(addr) {
+		return false
+	}
+	seeker, ok := c.src.(Seeker)
+	if !ok {
+		panic("cpu: rollback requires a seekable trace source")
+	}
+	c.stats.Rollbacks++
+	oldest := c.epochs[0]
+	// Squash the pipeline and all speculative state.
+	for _, ep := range c.epochs {
+		for i := 0; i < ep.checkpoints; i++ {
+			c.ckpts.Release()
+		}
+	}
+	c.epochs = nil
+	c.ssb.Flush()
+	c.exitSpeculation()
+	c.fetchQ = nil
+	c.rob = nil
+	c.unissued = 0
+	c.lsqCount = 0
+	c.storeBuf = nil
+	clear(c.pendingReg)
+	clear(c.storesByLine)
+	seeker.Seek(oldest.fetchPos)
+	c.fetchPos = oldest.fetchPos
+	c.srcDone = false
+	// Refill penalty, and hold stores/PMEM retirement until the pcommit
+	// the oldest epoch was speculating past completes (the fence it
+	// replaced re-acquires its ordering).
+	c.now += c.cfg.RollbackPenalty
+	if c.pcommitMax > c.retireHoldTil {
+		c.retireHoldTil = c.pcommitMax
+	}
+	return true
+}

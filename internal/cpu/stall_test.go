@@ -1,0 +1,105 @@
+package cpu
+
+import (
+	"testing"
+
+	"specpersist/internal/isa"
+)
+
+func TestStallAttributionFence(t *testing.T) {
+	c, _ := newSystem(SPConfig{})
+	tb := newB()
+	tb.bld.Store(0x1000, 8, isa.NoReg, isa.NoReg)
+	tb.barrier(0x1000)
+	st := c.Run(tb.buf)
+	if st.StallFenceCycles == 0 {
+		t.Error("no fence stalls recorded for a blocking barrier")
+	}
+	if st.StallCheckpointCycles != 0 {
+		t.Error("checkpoint stalls without SP")
+	}
+}
+
+func TestStallAttributionCheckpoint(t *testing.T) {
+	spc := DefaultSPConfig()
+	spc.Checkpoints = 1
+	c, _ := newSystem(spc)
+	tb := newB()
+	for i := 0; i < 5; i++ {
+		addr := uint64(0x1000 + i*0x40)
+		tb.bld.Store(addr, 8, isa.NoReg, isa.NoReg)
+		tb.barrier(addr)
+	}
+	st := c.Run(tb.buf)
+	if st.StallCheckpointCycles == 0 {
+		t.Error("no checkpoint stalls with a 1-entry checkpoint buffer")
+	}
+}
+
+func TestStallAttributionSSBFull(t *testing.T) {
+	spc := DefaultSPConfig()
+	spc.SSBEntries = 32 // table minimum
+	c, _ := newSystem(spc)
+	tb := newB()
+	tb.bld.Store(0x1000, 8, isa.NoReg, isa.NoReg)
+	tb.barrier(0x1000)
+	// Far more speculative stores than SSB entries.
+	for i := 0; i < 120; i++ {
+		tb.bld.Store(uint64(0x10000+i*0x40), 8, isa.NoReg, isa.NoReg)
+	}
+	st := c.Run(tb.buf)
+	if st.SSBFullStalls == 0 || st.StallSSBFullCycles == 0 {
+		t.Errorf("no SSB-full stalls: %d events, %d cycles", st.SSBFullStalls, st.StallSSBFullCycles)
+	}
+}
+
+func TestStallAttributionFlushOrder(t *testing.T) {
+	c, _ := newSystem(SPConfig{})
+	tb := newB()
+	// A burst of stores to one line, then an immediate clwb: the clwb
+	// must wait for the store buffer to drain that line.
+	for i := 0; i < 8; i++ {
+		tb.bld.Store(0x2000+uint64(i*8), 8, isa.NoReg, isa.NoReg)
+	}
+	tb.bld.Clwb(0x2000)
+	st := c.Run(tb.buf)
+	if st.StallFlushOrderCycles == 0 {
+		t.Error("no flush-order stalls recorded")
+	}
+}
+
+func TestStallAttributionNoDelayAblation(t *testing.T) {
+	spc := DefaultSPConfig()
+	spc.DelayPMEMOps = false
+	c, _ := newSystem(spc)
+	tb := newB()
+	tb.bld.Store(0x1000, 8, isa.NoReg, isa.NoReg)
+	tb.barrier(0x1000)
+	// An in-shadow clwb must stall retirement under the ablation.
+	tb.bld.Store(0x2000, 8, isa.NoReg, isa.NoReg)
+	tb.bld.Clwb(0x2000)
+	st := c.Run(tb.buf)
+	if st.StallNoDelayCycles == 0 {
+		t.Error("no no-delay stalls under the DelayPMEMOps ablation")
+	}
+	if st.Committed != uint64(tb.buf.Len()) {
+		t.Errorf("committed %d of %d", st.Committed, tb.buf.Len())
+	}
+}
+
+func TestStallAttributionStoreBuf(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StoreBuf = 2
+	mcCfg := DefaultSPConfig()
+	_ = mcCfg
+	c, _ := newSystemWithCfg(cfg)
+	tb := newB()
+	// Dependent-miss stores drain slowly; a tiny store buffer backs up.
+	for i := 0; i < 32; i++ {
+		tb.bld.Store(uint64(0x100000+i*0x4000), 8, isa.NoReg, isa.NoReg)
+	}
+	st := c.Run(tb.buf)
+	if st.StallStoreBufCycles == 0 {
+		t.Error("no store-buffer stalls with a 2-entry store buffer")
+	}
+}

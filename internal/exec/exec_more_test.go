@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"specpersist/internal/isa"
+	"specpersist/internal/pmem"
+)
+
+func TestCrashDiscardsInFlightClwbs(t *testing.T) {
+	// An adversary-pending clwb must not survive a crash and then be
+	// applied to the post-crash state.
+	// Find a seed whose first coin defers the clwb past the pcommit.
+	seed := int64(-1)
+	for s := int64(0); s < 64; s++ {
+		if rand.New(rand.NewSource(s)).Intn(2) == 1 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no deferring seed in range")
+	}
+	e := New()
+	e.Level = LevelLogP
+	e.Reorder = rand.New(rand.NewSource(seed))
+	addr := e.AllocLines(1)
+	e.StoreU64(addr, 1, isa.NoReg, isa.NoReg)
+	e.Clwb(addr)
+	e.Pcommit() // clwb deferred: line still not in WPQ
+	if e.M.LineState(addr) != pmem.Dirty {
+		t.Fatal("clwb was not deferred despite the chosen seed")
+	}
+	e.Crash(pmem.CrashOptions{})
+	// A later pcommit must not resurrect the in-flight clwb.
+	e.Pcommit()
+	if got := e.M.ReadU64(addr); got != 0 {
+		t.Errorf("in-flight clwb applied after crash: value %d", got)
+	}
+}
+
+func TestHookFiresOnAllStateChanges(t *testing.T) {
+	e := New()
+	n := 0
+	e.Hook = func() { n++ }
+	addr := e.AllocLines(1)
+	e.StoreU64(addr, 1, isa.NoReg, isa.NoReg)
+	e.StoreBytes(addr, make([]byte, 16), isa.NoReg, isa.NoReg)
+	e.Clwb(addr)
+	e.Clflushopt(addr)
+	e.Pcommit()
+	e.Sfence()
+	if n != 6 {
+		t.Errorf("hook fired %d times, want 6", n)
+	}
+	// Loads do not fire the hook (crash points between loads are
+	// indistinguishable from crash points at the next store).
+	e.LoadU64(addr, isa.NoReg)
+	e.LoadBytes(addr, 8, isa.NoReg)
+	if n != 6 {
+		t.Errorf("hook fired on loads: %d", n)
+	}
+}
+
+func TestPersistBarrierCountsAsOnePcommit(t *testing.T) {
+	e := New()
+	addr := e.AllocLines(1)
+	e.StoreU64(addr, 1, isa.NoReg, isa.NoReg)
+	e.Clwb(addr)
+	e.PersistBarrier()
+	st := e.M.Stats()
+	if st.Pcommits != 1 || st.Sfences != 2 {
+		t.Errorf("barrier stats: %+v", st)
+	}
+}

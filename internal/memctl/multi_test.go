@@ -1,0 +1,75 @@
+package memctl
+
+import "testing"
+
+func TestMultiInterleaving(t *testing.T) {
+	m := NewMulti(2, testCfg())
+	// Lines 0 and 64 go to different controllers: no bank contention even
+	// with 1 bank each.
+	cfg := Config{Banks: 1, ReadLat: 100, WriteLat: 300, WPQCap: 4, AckLat: 5}
+	m = NewMulti(2, cfg)
+	a := m.Read(0, 0)
+	b := m.Read(64, 0)
+	if a != 105 || b != 105 {
+		t.Errorf("interleaved reads = %d, %d; want both 105", a, b)
+	}
+	// Same controller (0 and 128) serialize on its single bank.
+	c := m.Read(128, 0)
+	if c != a+100 {
+		t.Errorf("same-controller read = %d, want %d", c, a+100)
+	}
+}
+
+func TestMultiPcommitWaitsForAllControllers(t *testing.T) {
+	cfg := Config{Banks: 1, ReadLat: 100, WriteLat: 300, WPQCap: 4, AckLat: 5}
+	m := NewMulti(2, cfg)
+	m.EnqueueWrite(0, 0)   // controller 0: drains at 300
+	m.EnqueueWrite(64, 0)  // controller 1: drains at 300
+	m.EnqueueWrite(128, 0) // controller 0 again: drains at 600
+	if done := m.Pcommit(0); done != 605 {
+		t.Errorf("multi pcommit = %d, want 605 (slowest controller)", done)
+	}
+}
+
+func TestMultiPcommitEmpty(t *testing.T) {
+	m := NewMulti(3, testCfg())
+	if done := m.Pcommit(42); done != 42+5 {
+		t.Errorf("empty multi pcommit = %d", done)
+	}
+}
+
+func TestMultiStatsAggregate(t *testing.T) {
+	m := NewMulti(2, testCfg())
+	m.Read(0, 0)
+	m.Read(64, 0)
+	m.EnqueueWrite(0, 0)
+	m.EnqueueWrite(64, 0)
+	m.Pcommit(0)
+	s := m.Stats()
+	if s.Reads != 2 || s.Writes != 2 || s.Pcommits != 2 {
+		t.Errorf("aggregated stats = %+v", s)
+	}
+	if m.Controllers() != 2 {
+		t.Errorf("Controllers() = %d", m.Controllers())
+	}
+}
+
+func TestMultiCoalescingPerController(t *testing.T) {
+	cfg := Config{Banks: 1, ReadLat: 100, WriteLat: 300, WPQCap: 8, AckLat: 5}
+	m := NewMulti(2, cfg)
+	m.EnqueueWrite(0, 0)   // controller 0, starts immediately
+	m.EnqueueWrite(128, 0) // controller 0, queued behind (starts at 300)
+	m.EnqueueWrite(128, 1) // same line, still queued -> coalesces
+	if s := m.Stats(); s.Coalesced != 1 {
+		t.Errorf("Coalesced = %d, want 1", s.Coalesced)
+	}
+}
+
+func TestNewMultiPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMulti(0, testCfg())
+}

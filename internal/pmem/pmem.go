@@ -1,0 +1,243 @@
+// Package pmem models the functional persistence behaviour of a system with
+// non-volatile main memory behind volatile caches and a volatile memory
+// controller write-pending queue (WPQ).
+//
+// The model tracks three copies of state at 64-byte cache-line granularity:
+//
+//   - the volatile view: what the program observes through loads (caches +
+//     store buffers), updated by every store;
+//   - the WPQ: line snapshots written back by clwb/clflushopt (or by a
+//     simulated spontaneous eviction) that have reached the memory
+//     controller but are not yet durable — the paper assumes the controller
+//     is NOT in the persistence domain, so pcommit is required (§2.2 fn 1);
+//   - the durable image: what survives a crash.
+//
+// Crash injection discards the volatile view and the WPQ (optionally
+// persisting a random subset first, modeling spontaneous evictions and
+// partial WPQ drain) and resets the program-visible state to the durable
+// image, exactly as power loss would.
+package pmem
+
+import (
+	"math/rand"
+
+	"specpersist/internal/mem"
+)
+
+// LineState describes the persistence status of one cache line.
+type LineState uint8
+
+const (
+	// Clean: volatile content matches the durable image.
+	Clean LineState = iota
+	// Dirty: written since the last writeback; lost on crash.
+	Dirty
+	// InWPQ: written back to the controller but not yet durable; lost on
+	// crash unless the WPQ happened to drain.
+	InWPQ
+)
+
+// String returns a short name for the state.
+func (s LineState) String() string {
+	switch s {
+	case Clean:
+		return "clean"
+	case Dirty:
+		return "dirty"
+	case InWPQ:
+		return "in-wpq"
+	default:
+		return "invalid"
+	}
+}
+
+// Stats counts functional persistence events.
+type Stats struct {
+	Stores     uint64 // store operations (not bytes)
+	Loads      uint64
+	Clwbs      uint64 // clwb/clflushopt issued (including no-op on clean lines)
+	Flushed    uint64 // lines actually moved to the WPQ
+	Pcommits   uint64
+	Sfences    uint64
+	Persisted  uint64 // lines made durable by pcommit
+	Crashes    uint64
+	Recoveries uint64
+}
+
+// Model is the functional persistence model. It is not safe for concurrent
+// use; the paper (and this reproduction) targets single-threaded workloads.
+type Model struct {
+	volatile *mem.Space
+	durable  *mem.Space
+	dirty    map[uint64]struct{} // line base -> dirty in cache
+	wpq      map[uint64][]byte   // line base -> snapshot pending in controller
+	stats    Stats
+}
+
+// New returns a fresh model whose allocator starts at mem.DefaultBase.
+func New() *Model {
+	return &Model{
+		volatile: mem.NewSpace(mem.DefaultBase),
+		durable:  mem.NewSpace(mem.DefaultBase),
+		dirty:    make(map[uint64]struct{}),
+		wpq:      make(map[uint64][]byte),
+	}
+}
+
+// Alloc reserves size bytes with the given alignment.
+func (m *Model) Alloc(size, align int) uint64 { return m.volatile.Alloc(size, align) }
+
+// AllocLines reserves n cache lines, line-aligned.
+func (m *Model) AllocLines(n int) uint64 { return m.volatile.AllocLines(n) }
+
+// Read copies bytes from the volatile (program-visible) view.
+func (m *Model) Read(addr uint64, dst []byte) {
+	m.stats.Loads++
+	m.volatile.Read(addr, dst)
+}
+
+// Write stores bytes to the volatile view and marks the touched lines dirty.
+func (m *Model) Write(addr uint64, src []byte) {
+	m.stats.Stores++
+	m.volatile.Write(addr, src)
+	first := mem.LineAddr(addr)
+	for i := 0; i < mem.LinesSpanned(addr, len(src)); i++ {
+		line := first + uint64(i*mem.LineSize)
+		m.dirty[line] = struct{}{}
+		// A newer store to a line whose older snapshot is pending in the
+		// WPQ does not disturb the snapshot: the WPQ holds the content at
+		// writeback time.
+	}
+}
+
+// ReadU64 reads a little-endian uint64.
+func (m *Model) ReadU64(addr uint64) uint64 {
+	m.stats.Loads++
+	return m.volatile.ReadU64(addr)
+}
+
+// WriteU64 writes a little-endian uint64.
+func (m *Model) WriteU64(addr uint64, v uint64) {
+	m.stats.Stores++
+	m.volatile.WriteU64(addr, v)
+	m.dirty[mem.LineAddr(addr)] = struct{}{}
+}
+
+// Clwb writes the line containing addr back to the controller WPQ if it is
+// dirty. The line remains cached (functionally: remains readable, which it
+// always is in this model). Clean lines are a no-op, as in hardware.
+func (m *Model) Clwb(addr uint64) {
+	m.stats.Clwbs++
+	line := mem.LineAddr(addr)
+	if _, ok := m.dirty[line]; !ok {
+		return
+	}
+	buf := make([]byte, mem.LineSize)
+	m.volatile.Read(line, buf)
+	m.wpq[line] = buf
+	delete(m.dirty, line)
+	m.stats.Flushed++
+}
+
+// Clflushopt has the same persistence effect as Clwb in this functional
+// model (eviction only affects timing, which the cache model handles).
+func (m *Model) Clflushopt(addr uint64) { m.Clwb(addr) }
+
+// Pcommit drains the WPQ: every pending line snapshot becomes durable.
+func (m *Model) Pcommit() {
+	m.stats.Pcommits++
+	for line, buf := range m.wpq {
+		m.durable.Write(line, buf)
+		m.stats.Persisted++
+		delete(m.wpq, line)
+	}
+}
+
+// Sfence is an ordering point. The functional model executes sequentially,
+// so it only counts the event; ordering is enforced by construction.
+func (m *Model) Sfence() { m.stats.Sfences++ }
+
+// LineState reports the persistence status of the line containing addr.
+func (m *Model) LineState(addr uint64) LineState {
+	line := mem.LineAddr(addr)
+	if _, ok := m.dirty[line]; ok {
+		return Dirty
+	}
+	if _, ok := m.wpq[line]; ok {
+		return InWPQ
+	}
+	return Clean
+}
+
+// DurableEquals reports whether the durable image of the line containing
+// addr matches the volatile view (i.e. the line's current contents would
+// survive a crash).
+func (m *Model) DurableEquals(addr uint64) bool {
+	line := mem.LineAddr(addr)
+	var v, d [mem.LineSize]byte
+	m.volatile.Read(line, v[:])
+	m.durable.Read(line, d[:])
+	return v == d
+}
+
+// DirtyLines reports the number of lines dirty in the cache.
+func (m *Model) DirtyLines() int { return len(m.dirty) }
+
+// WPQLines reports the number of line snapshots pending in the controller.
+func (m *Model) WPQLines() int { return len(m.wpq) }
+
+// CrashOptions tune crash injection.
+type CrashOptions struct {
+	// EvictFrac is the probability that each dirty cache line was
+	// spontaneously evicted (and its writeback drained) before the crash,
+	// making it durable. Models the unpredictable LLC writeback order the
+	// paper motivates failure safety with (§2.1).
+	EvictFrac float64
+	// DrainFrac is the probability that each WPQ entry drained to NVMM on
+	// its own before the crash.
+	DrainFrac float64
+	// Rand drives the random choices; nil means no spontaneous
+	// evictions or drains happen (strictest crash).
+	Rand *rand.Rand
+}
+
+// Crash simulates power loss: the volatile view and WPQ are discarded and
+// the program-visible state is reset to the durable image. Spontaneous
+// evictions/drains selected by opts are applied first. The allocator cursor
+// is preserved so lost allocations are never reused.
+func (m *Model) Crash(opts CrashOptions) {
+	m.stats.Crashes++
+	if opts.Rand != nil {
+		for line := range m.dirty {
+			if opts.Rand.Float64() < opts.EvictFrac {
+				m.volatile.CopyLineTo(m.durable, line)
+			}
+		}
+		for line, buf := range m.wpq {
+			if opts.Rand.Float64() < opts.DrainFrac {
+				m.durable.Write(line, buf)
+			}
+		}
+	}
+	brk := m.volatile.Brk()
+	m.volatile = m.durable.Clone()
+	m.volatile.SetBrk(brk)
+	m.dirty = make(map[uint64]struct{})
+	m.wpq = make(map[uint64][]byte)
+	m.stats.Recoveries++
+}
+
+// PersistAll is a testing convenience: flush every dirty line and drain the
+// WPQ, making the entire volatile view durable.
+func (m *Model) PersistAll() {
+	for line := range m.dirty {
+		m.Clwb(line)
+	}
+	m.Pcommit()
+}
+
+// Stats returns a copy of the event counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+// ResetStats clears the event counters.
+func (m *Model) ResetStats() { m.stats = Stats{} }

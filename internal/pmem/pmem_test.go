@@ -1,0 +1,287 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specpersist/internal/mem"
+)
+
+func TestWriteMakesDirty(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	if got := m.LineState(addr); got != Clean {
+		t.Fatalf("fresh line state = %v, want clean", got)
+	}
+	m.WriteU64(addr, 1)
+	if got := m.LineState(addr); got != Dirty {
+		t.Fatalf("state after write = %v, want dirty", got)
+	}
+}
+
+func TestClwbMovesToWPQ(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 1)
+	m.Clwb(addr)
+	if got := m.LineState(addr); got != InWPQ {
+		t.Fatalf("state after clwb = %v, want in-wpq", got)
+	}
+	if m.DurableEquals(addr) {
+		t.Error("line durable before pcommit")
+	}
+}
+
+func TestClwbOnCleanLineIsNoop(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.Clwb(addr)
+	if m.WPQLines() != 0 {
+		t.Error("clean-line clwb populated WPQ")
+	}
+	st := m.Stats()
+	if st.Clwbs != 1 || st.Flushed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPcommitMakesDurable(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 42)
+	m.Clwb(addr)
+	m.Pcommit()
+	if got := m.LineState(addr); got != Clean {
+		t.Fatalf("state after pcommit = %v, want clean", got)
+	}
+	if !m.DurableEquals(addr) {
+		t.Error("line not durable after clwb+pcommit")
+	}
+}
+
+func TestPcommitWithoutClwbDoesNothing(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 42)
+	m.Pcommit()
+	if m.DurableEquals(addr) {
+		t.Error("dirty line became durable without writeback")
+	}
+}
+
+func TestCrashLosesDirtyAndWPQ(t *testing.T) {
+	m := New()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	c := m.AllocLines(1)
+	// a: fully persisted; b: in WPQ; c: dirty only.
+	m.WriteU64(a, 1)
+	m.Clwb(a)
+	m.Pcommit()
+	m.WriteU64(b, 2)
+	m.Clwb(b)
+	m.WriteU64(c, 3)
+	m.Crash(CrashOptions{})
+	if got := m.ReadU64(a); got != 1 {
+		t.Errorf("persisted value lost: got %d", got)
+	}
+	if got := m.ReadU64(b); got != 0 {
+		t.Errorf("WPQ value survived strict crash: got %d", got)
+	}
+	if got := m.ReadU64(c); got != 0 {
+		t.Errorf("dirty value survived crash: got %d", got)
+	}
+	if m.DirtyLines() != 0 || m.WPQLines() != 0 {
+		t.Error("crash did not clear volatile tracking")
+	}
+}
+
+func TestCrashPreservesAllocator(t *testing.T) {
+	m := New()
+	a := m.AllocLines(1)
+	m.Crash(CrashOptions{})
+	b := m.AllocLines(1)
+	if b <= a {
+		t.Errorf("allocator reused addresses after crash: a=%#x b=%#x", a, b)
+	}
+}
+
+func TestWPQHoldsSnapshotNotLatest(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 1)
+	m.Clwb(addr) // snapshot value 1 into WPQ
+	m.WriteU64(addr, 2)
+	m.Pcommit() // persists the snapshot (1), not the newer store (2)
+	m.Crash(CrashOptions{})
+	if got := m.ReadU64(addr); got != 1 {
+		t.Errorf("durable value = %d, want snapshot 1", got)
+	}
+}
+
+func TestRedirtyAfterClwbNeedsSecondFlush(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 1)
+	m.Clwb(addr)
+	m.WriteU64(addr, 2)
+	if got := m.LineState(addr); got != Dirty {
+		t.Fatalf("state = %v, want dirty (new store re-dirties)", got)
+	}
+	m.Clwb(addr)
+	m.Pcommit()
+	if !m.DurableEquals(addr) {
+		t.Error("second flush did not persist latest value")
+	}
+}
+
+func TestCrashWithEvictions(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 7)
+	// EvictFrac 1.0: every dirty line is spontaneously evicted+drained.
+	m.Crash(CrashOptions{EvictFrac: 1.0, Rand: rand.New(rand.NewSource(1))})
+	if got := m.ReadU64(addr); got != 7 {
+		t.Errorf("evicted line not durable: got %d", got)
+	}
+}
+
+func TestCrashWithWPQDrain(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 9)
+	m.Clwb(addr)
+	m.Crash(CrashOptions{DrainFrac: 1.0, Rand: rand.New(rand.NewSource(1))})
+	if got := m.ReadU64(addr); got != 9 {
+		t.Errorf("drained WPQ entry not durable: got %d", got)
+	}
+}
+
+func TestPersistAll(t *testing.T) {
+	m := New()
+	addrs := make([]uint64, 10)
+	for i := range addrs {
+		addrs[i] = m.AllocLines(1)
+		m.WriteU64(addrs[i], uint64(i+1))
+	}
+	m.PersistAll()
+	m.Crash(CrashOptions{})
+	for i, a := range addrs {
+		if got := m.ReadU64(a); got != uint64(i+1) {
+			t.Errorf("addr %d: got %d want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestMultiLineWrite(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(4)
+	data := make([]byte, 4*mem.LineSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m.Write(addr, data)
+	if m.DirtyLines() != 4 {
+		t.Errorf("DirtyLines = %d, want 4", m.DirtyLines())
+	}
+	for i := 0; i < 4; i++ {
+		m.Clwb(addr + uint64(i*mem.LineSize))
+	}
+	m.Pcommit()
+	m.Crash(CrashOptions{})
+	got := make([]byte, len(data))
+	m.Read(addr, got)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestLineStateString(t *testing.T) {
+	for s, want := range map[LineState]string{Clean: "clean", Dirty: "dirty", InWPQ: "in-wpq", LineState(9): "invalid"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 1)
+	m.Read(addr, make([]byte, 8))
+	m.Clwb(addr)
+	m.Sfence()
+	m.Pcommit()
+	m.Sfence()
+	st := m.Stats()
+	if st.Stores != 1 || st.Loads != 1 || st.Clwbs != 1 || st.Pcommits != 1 || st.Sfences != 2 || st.Persisted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+// Property: after write+clwb+pcommit, every line of the written range
+// survives a strict crash.
+func TestQuickPersistedSurvivesCrash(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		m := New()
+		addrs := make([]uint64, len(vals))
+		for i, v := range vals {
+			addrs[i] = m.AllocLines(1)
+			m.WriteU64(addrs[i], v)
+			m.Clwb(addrs[i])
+		}
+		m.Pcommit()
+		m.Crash(CrashOptions{})
+		for i, v := range vals {
+			if m.ReadU64(addrs[i]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a strict crash never exposes values that were only stored (not
+// flushed+committed).
+func TestQuickUnpersistedNeverSurvives(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		m := New()
+		addrs := make([]uint64, len(vals))
+		for i, v := range vals {
+			addrs[i] = m.AllocLines(1)
+			m.WriteU64(addrs[i], v|1) // ensure non-zero
+		}
+		m.Crash(CrashOptions{})
+		for _, a := range addrs {
+			if m.ReadU64(a) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

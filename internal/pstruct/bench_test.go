@@ -1,0 +1,45 @@
+package pstruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"specpersist/internal/exec"
+	"specpersist/internal/txn"
+)
+
+// BenchmarkApply measures transactional operation rates per structure
+// (functional execution, no trace, no timing model).
+func BenchmarkApply(b *testing.B) {
+	for _, name := range Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := exec.New()
+			env.Level = exec.LevelFull
+			mgr := txn.NewManager(env, 2048)
+			s := Build(name, env, mgr, testConfig)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply(uint64(rng.Intn(512)))
+			}
+		})
+	}
+}
+
+// BenchmarkApplyBaseline measures the non-transactional variants.
+func BenchmarkApplyBaseline(b *testing.B) {
+	for _, name := range Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := exec.New()
+			env.Level = exec.LevelLog
+			s := Build(name, env, nil, testConfig)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply(uint64(rng.Intn(512)))
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart — the figures in the paper
+// are bar charts, and cmd/figures can emit them directly next to the
+// tables. Values may be negative (bars extend left of the axis). unit is
+// appended to each value label.
+type BarChart struct {
+	Title string
+	Width int // bar area width in characters (0 = 50)
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+	unit  string
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64, unit string) {
+	c.bars = append(c.bars, bar{label: label, value: value, unit: unit})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxAbs := 0.0
+	labelW := 0
+	for _, b := range c.bars {
+		if v := math.Abs(b.value); v > maxAbs {
+			maxAbs = v
+		}
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.bars {
+		n := int(math.Round(math.Abs(b.value) / maxAbs * float64(width)))
+		if n == 0 && b.value != 0 {
+			n = 1
+		}
+		sign := ""
+		if b.value < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.4g%s\n", labelW, b.label,
+			sign, strings.Repeat("█", n), b.value, b.unit)
+	}
+	return sb.String()
+}
+
+// ChartFromTable builds a bar chart from one numeric column of a table
+// (percent signs and '+' prefixes are tolerated); rows whose cell does not
+// parse are skipped.
+func ChartFromTable(t *Table, col int, unit string) *BarChart {
+	c := &BarChart{Title: t.Title}
+	if col < 0 || col >= len(t.Columns) {
+		return c
+	}
+	c.Title = fmt.Sprintf("%s — %s", t.Title, t.Columns[col])
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		cell := strings.TrimSuffix(strings.TrimPrefix(row[col], "+"), "%")
+		var v float64
+		if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+			continue
+		}
+		c.Add(row[0], v, unit)
+	}
+	return c
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendering(t *testing.T) {
+	c := &BarChart{Title: "demo", Width: 10}
+	c.Add("a", 100, "%")
+	c.Add("bb", 50, "%")
+	c.Add("c", 0, "%")
+	s := c.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("█", 5)) || strings.Contains(lines[2], strings.Repeat("█", 6)) {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "█") {
+		t.Errorf("zero bar drew blocks: %q", lines[3])
+	}
+	if !strings.Contains(lines[1], "100%") {
+		t.Errorf("value label missing: %q", lines[1])
+	}
+}
+
+func TestBarChartNegative(t *testing.T) {
+	c := &BarChart{Width: 4}
+	c.Add("neg", -2, "")
+	c.Add("pos", 4, "")
+	s := c.String()
+	if !strings.Contains(s, "|-██ ") {
+		t.Errorf("negative bar not marked:\n%s", s)
+	}
+}
+
+func TestBarChartTinyNonZero(t *testing.T) {
+	c := &BarChart{Width: 10}
+	c.Add("tiny", 0.001, "")
+	c.Add("big", 100, "")
+	if !strings.Contains(strings.Split(c.String(), "\n")[0], "█") {
+		t.Error("tiny non-zero value rendered no bar")
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tb := &Table{Title: "Figure 8", Columns: []string{"Bench", "Log", "SP256"}}
+	tb.AddRow("GH", "+2.0%", "+3.4%")
+	tb.AddRow("HM", "+2.8%", "+5.3%")
+	tb.AddRow("gmean", "+9.4%", "+18.1%")
+	c := ChartFromTable(tb, 2, "%")
+	s := c.String()
+	for _, want := range []string{"GH", "HM", "gmean", "3.4%", "18.1%", "SP256"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chart missing %q:\n%s", want, s)
+		}
+	}
+	// Out-of-range column yields an empty chart, not a panic.
+	if empty := ChartFromTable(tb, 9, ""); len(empty.bars) != 0 {
+		t.Error("out-of-range column produced bars")
+	}
+}
+
+func TestChartFromTableSkipsNonNumeric(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"A", "B"}}
+	tb.AddRow("x", "notanumber")
+	tb.AddRow("y", "5")
+	c := ChartFromTable(tb, 1, "")
+	if len(c.bars) != 1 || c.bars[0].label != "y" {
+		t.Errorf("bars = %+v", c.bars)
+	}
+}

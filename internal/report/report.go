@@ -1,0 +1,126 @@
+// Package report renders the paper's tables and figures as text and
+// provides the summary statistics used in the evaluation (geometric-mean
+// overheads, normalized ratios).
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Overhead converts a cycles ratio into the paper's "execution time
+// overhead": cycles/base - 1.
+func Overhead(cycles, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(cycles)/float64(base) - 1
+}
+
+// GeoMeanOverhead computes the paper's summary metric (§6.1): the geometric
+// mean of slowdown ratios, minus one. Each ratio must be positive.
+func GeoMeanOverhead(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		if r <= 0 {
+			panic(fmt.Sprintf("report: non-positive ratio %v", r))
+		}
+		sum += math.Log(r)
+	}
+	return math.Exp(sum/float64(len(ratios))) - 1
+}
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := len(t.Columns) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (header row first; notes
+// become trailing comment lines prefixed with '#'). Machine-readable
+// output for plotting the figures.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a signed percentage.
+func Pct(f float64) string { return fmt.Sprintf("%+.1f%%", f*100) }
+
+// Ratio formats a normalized ratio.
+func Ratio(f float64) string { return fmt.Sprintf("%.3f", f) }

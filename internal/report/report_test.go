@@ -1,0 +1,86 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(150, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Overhead = %v", got)
+	}
+	if got := Overhead(100, 0); got != 0 {
+		t.Errorf("Overhead with zero base = %v", got)
+	}
+}
+
+func TestGeoMeanOverhead(t *testing.T) {
+	// Geometric mean of {2, 8} is 4 -> overhead 3.
+	if got := GeoMeanOverhead([]float64{2, 8}); math.Abs(got-3) > 1e-9 {
+		t.Errorf("GeoMeanOverhead = %v, want 3", got)
+	}
+	if got := GeoMeanOverhead(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	// Identity: single ratio r -> r-1.
+	f := func(x uint16) bool {
+		r := 1 + float64(x)/1000
+		return math.Abs(GeoMeanOverhead([]float64{r})-(r-1)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	GeoMeanOverhead([]float64{1, 0})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"A", "LongColumn"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "2")
+	tb.AddNote("note %d", 7)
+	s := tb.String()
+	for _, want := range []string{"T\n", "A", "LongColumn", "longer", "note 7", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Errorf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"A", "B"}}
+	tb.AddRow("x,y", `quote"d`)
+	tb.AddRow("plain", "2")
+	tb.AddNote("n")
+	got := tb.CSV()
+	want := "A,B\n\"x,y\",\"quote\"\"d\"\nplain,2\n# n\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "+12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123))
+	}
+	if Pct(-0.05) != "-5.0%" {
+		t.Errorf("Pct = %q", Pct(-0.05))
+	}
+	if Ratio(1.5) != "1.500" {
+		t.Errorf("Ratio = %q", Ratio(1.5))
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specpersist/internal/isa"
+)
+
+func roundTrip(t *testing.T, ins []isa.Instr) []isa.Instr {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range ins {
+		w.Emit(in)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(ins)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(ins))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []isa.Instr
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	return out
+}
+
+func TestFileRoundTripBasic(t *testing.T) {
+	ins := []isa.Instr{
+		{Op: isa.ALU, Dst: 1, Lat: 3},
+		{Op: isa.Load, Dst: 2, Addr: 0x1000, Size: 8, Src2: 1},
+		{Op: isa.Store, Addr: 0x0FF8, Size: 4, Src1: 2}, // backwards delta
+		{Op: isa.Clwb, Addr: 0x1000},
+		{Op: isa.Pcommit},
+		{Op: isa.Sfence},
+		{Op: isa.Mfence},
+		{Op: isa.Clflushopt, Addr: 1 << 40}, // big jump
+		{Op: isa.Clflush, Addr: 0},
+	}
+	out := roundTrip(t, ins)
+	if len(out) != len(ins) {
+		t.Fatalf("decoded %d, want %d", len(out), len(ins))
+	}
+	for i := range ins {
+		if out[i] != ins[i] {
+			t.Errorf("record %d: %+v != %+v", i, out[i], ins[i])
+		}
+	}
+}
+
+func TestFileRoundTripEmpty(t *testing.T) {
+	if out := roundTrip(t, nil); len(out) != 0 {
+		t.Fatalf("decoded %d from empty trace", len(out))
+	}
+}
+
+func TestQuickFileRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		ins := make([]isa.Instr, n)
+		for i := range ins {
+			ins[i] = isa.Instr{
+				Op:   isa.Op(rng.Intn(9)),
+				Addr: rng.Uint64() >> uint(rng.Intn(40)),
+				Size: uint8(rng.Intn(9)),
+				Lat:  uint8(rng.Intn(8)),
+				Dst:  isa.Reg(rng.Intn(1 << 20)),
+				Src1: isa.Reg(rng.Intn(1 << 20)),
+				Src2: isa.Reg(rng.Intn(1 << 20)),
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, in := range ins {
+			w.Emit(in)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range ins {
+			got, ok := r.Next()
+			if !ok || got != ins[i] {
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTATRACE")); err == nil {
+		t.Error("accepted bad magic")
+	}
+	if _, err := NewReader(strings.NewReader("SPTRACE\x00\x63")); err == nil {
+		t.Error("accepted bad version")
+	}
+	if _, err := NewReader(strings.NewReader("SP")); err == nil {
+		t.Error("accepted truncated header")
+	}
+}
+
+func TestReaderReportsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Emit(isa.Instr{Op: isa.Load, Dst: 5, Addr: 0x1234, Size: 8})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record.
+	data := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("decoded a truncated record")
+	}
+	if r.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestFileCompression(t *testing.T) {
+	// Sequential access patterns should encode to a few bytes per record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		w.Emit(isa.Instr{Op: isa.Store, Addr: uint64(0x1000 + i*8), Size: 8, Src1: isa.Reg(i + 1)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / n
+	if perRecord > 12 {
+		t.Errorf("%.1f bytes/record, want <= 12", perRecord)
+	}
+}

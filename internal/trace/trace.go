@@ -1,0 +1,270 @@
+// Package trace carries dynamic instruction streams from the workload layer
+// to the timing simulator.
+//
+// The data-structure code executes functionally against simulated memory
+// and, through a Builder, emits one isa.Instr per architectural event: a
+// load per memory read, a store per 8-byte memory write, ALU operations for
+// key comparisons and address arithmetic, and the PMEM persistence
+// instructions. Dependences are expressed through single-assignment virtual
+// registers allocated by the Builder, so pointer-chasing chains in the
+// trace serialize in the out-of-order core exactly as they would in
+// compiled code.
+package trace
+
+import (
+	"fmt"
+
+	"specpersist/internal/isa"
+)
+
+// Sink receives emitted instructions.
+type Sink interface {
+	Emit(isa.Instr)
+}
+
+// Source supplies instructions to the simulator. Next returns false when
+// the stream is exhausted.
+type Source interface {
+	Next() (isa.Instr, bool)
+}
+
+// Buffer is an in-memory instruction stream; it implements both Sink and
+// Source. The zero value is an empty, usable buffer.
+type Buffer struct {
+	ins []isa.Instr
+	pos int
+}
+
+// Emit appends an instruction.
+func (b *Buffer) Emit(in isa.Instr) { b.ins = append(b.ins, in) }
+
+// Next returns the next unread instruction.
+func (b *Buffer) Next() (isa.Instr, bool) {
+	if b.pos >= len(b.ins) {
+		return isa.Instr{}, false
+	}
+	in := b.ins[b.pos]
+	b.pos++
+	return in, true
+}
+
+// Len reports the total number of instructions emitted.
+func (b *Buffer) Len() int { return len(b.ins) }
+
+// Remaining reports how many instructions are still unread.
+func (b *Buffer) Remaining() int { return len(b.ins) - b.pos }
+
+// Rewind restarts reading from the beginning.
+func (b *Buffer) Rewind() { b.pos = 0 }
+
+// Seek moves the read position to an absolute instruction index. The CPU
+// model uses this to restart execution from a checkpoint after a
+// speculation abort.
+func (b *Buffer) Seek(pos uint64) {
+	if pos > uint64(len(b.ins)) {
+		panic("trace: seek past end of buffer")
+	}
+	b.pos = int(pos)
+}
+
+// Reset discards all contents.
+func (b *Buffer) Reset() { b.ins = b.ins[:0]; b.pos = 0 }
+
+// Instrs exposes the underlying slice (read-only use).
+func (b *Buffer) Instrs() []isa.Instr { return b.ins }
+
+// FuncSource adapts a function to the Source interface.
+type FuncSource func() (isa.Instr, bool)
+
+// Next calls the wrapped function.
+func (f FuncSource) Next() (isa.Instr, bool) { return f() }
+
+// SliceSource returns a Source reading from ins.
+func SliceSource(ins []isa.Instr) Source {
+	b := &Buffer{ins: ins}
+	return b
+}
+
+// CountSink tallies emitted instructions by opcode; useful in tests and for
+// the instruction-count figures.
+type CountSink struct {
+	Counts [16]uint64
+	Total  uint64
+}
+
+// Emit records the instruction.
+func (c *CountSink) Emit(in isa.Instr) {
+	c.Counts[in.Op]++
+	c.Total++
+}
+
+// Count returns the tally for one opcode.
+func (c *CountSink) Count(op isa.Op) uint64 { return c.Counts[op] }
+
+// Tee duplicates a stream into multiple sinks.
+type Tee []Sink
+
+// Emit forwards to every sink.
+func (t Tee) Emit(in isa.Instr) {
+	for _, s := range t {
+		s.Emit(in)
+	}
+}
+
+// Validator wraps a Sink and panics on malformed streams: invalid
+// instructions, registers read before being written, or registers written
+// twice (the builder's registers are single-assignment).
+type Validator struct {
+	Inner   Sink
+	written map[isa.Reg]bool
+	n       int
+}
+
+// NewValidator returns a Validator forwarding to inner (which may be nil to
+// validate only).
+func NewValidator(inner Sink) *Validator {
+	return &Validator{Inner: inner, written: make(map[isa.Reg]bool)}
+}
+
+// Emit validates then forwards.
+func (v *Validator) Emit(in isa.Instr) {
+	if err := in.Validate(); err != nil {
+		panic(fmt.Sprintf("trace: instr %d: %v", v.n, err))
+	}
+	for _, src := range []isa.Reg{in.Src1, in.Src2} {
+		if src != isa.NoReg && !v.written[src] {
+			panic(fmt.Sprintf("trace: instr %d (%v) reads r%d before any write", v.n, in, src))
+		}
+	}
+	if in.Dst != isa.NoReg {
+		if v.written[in.Dst] {
+			panic(fmt.Sprintf("trace: instr %d (%v) rewrites r%d", v.n, in, in.Dst))
+		}
+		v.written[in.Dst] = true
+	}
+	v.n++
+	if v.Inner != nil {
+		v.Inner.Emit(in)
+	}
+}
+
+// Builder allocates virtual registers and emits well-formed instructions.
+// A nil *Builder is valid and emits nothing: the workload layer uses a nil
+// builder during fast-forward (functional-only) execution.
+type Builder struct {
+	sink    Sink
+	nextReg isa.Reg
+}
+
+// NewBuilder returns a Builder emitting into sink.
+func NewBuilder(sink Sink) *Builder {
+	return &Builder{sink: sink, nextReg: 1}
+}
+
+// Enabled reports whether the builder actually emits.
+func (b *Builder) Enabled() bool { return b != nil }
+
+func (b *Builder) alloc() isa.Reg {
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+// Load emits a load of size bytes at addr whose address depends on addrDep,
+// returning the produced register.
+func (b *Builder) Load(addr uint64, size int, addrDep isa.Reg) isa.Reg {
+	if b == nil {
+		return isa.NoReg
+	}
+	dst := b.alloc()
+	b.sink.Emit(isa.Instr{Op: isa.Load, Addr: addr, Size: uint8(size), Dst: dst, Src2: addrDep})
+	return dst
+}
+
+// Store emits a store of size bytes at addr. dataDep is the register
+// holding the stored value; addrDep the address dependence.
+func (b *Builder) Store(addr uint64, size int, dataDep, addrDep isa.Reg) {
+	if b == nil {
+		return
+	}
+	b.sink.Emit(isa.Instr{Op: isa.Store, Addr: addr, Size: uint8(size), Src1: dataDep, Src2: addrDep})
+}
+
+// ALU emits a compute chain consuming all deps (two per instruction) with
+// per-instruction latency lat (0 = default) and returns the result register.
+func (b *Builder) ALU(lat int, deps ...isa.Reg) isa.Reg {
+	if b == nil {
+		return isa.NoReg
+	}
+	// Filter out absent operands.
+	var live []isa.Reg
+	for _, d := range deps {
+		if d != isa.NoReg {
+			live = append(live, d)
+		}
+	}
+	var s1, s2 isa.Reg
+	if len(live) > 0 {
+		s1 = live[0]
+	}
+	if len(live) > 1 {
+		s2 = live[1]
+	}
+	dst := b.alloc()
+	b.sink.Emit(isa.Instr{Op: isa.ALU, Dst: dst, Src1: s1, Src2: s2, Lat: uint8(lat)})
+	// Fold any remaining operands into a dependence chain.
+	for i := 2; i < len(live); i++ {
+		next := b.alloc()
+		b.sink.Emit(isa.Instr{Op: isa.ALU, Dst: next, Src1: dst, Src2: live[i], Lat: uint8(lat)})
+		dst = next
+	}
+	return dst
+}
+
+// Clwb emits a clwb of the line containing addr.
+func (b *Builder) Clwb(addr uint64) {
+	if b == nil {
+		return
+	}
+	b.sink.Emit(isa.Instr{Op: isa.Clwb, Addr: addr})
+}
+
+// Clflushopt emits a clflushopt of the line containing addr.
+func (b *Builder) Clflushopt(addr uint64) {
+	if b == nil {
+		return
+	}
+	b.sink.Emit(isa.Instr{Op: isa.Clflushopt, Addr: addr})
+}
+
+// Pcommit emits a pcommit.
+func (b *Builder) Pcommit() {
+	if b == nil {
+		return
+	}
+	b.sink.Emit(isa.Instr{Op: isa.Pcommit})
+}
+
+// Sfence emits an sfence.
+func (b *Builder) Sfence() {
+	if b == nil {
+		return
+	}
+	b.sink.Emit(isa.Instr{Op: isa.Sfence})
+}
+
+// Mfence emits an mfence.
+func (b *Builder) Mfence() {
+	if b == nil {
+		return
+	}
+	b.sink.Emit(isa.Instr{Op: isa.Mfence})
+}
+
+// RegCount reports how many registers have been allocated.
+func (b *Builder) RegCount() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.nextReg) - 1
+}

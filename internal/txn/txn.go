@@ -1,0 +1,313 @@
+// Package txn implements failure-safe updates to non-volatile memory through
+// transactions based on write-ahead undo logging, following §3.1 of the
+// paper:
+//
+//	Step 1: write undo-log entries and make them durable.
+//	Step 2: set logged_bit and make it durable (transaction has begun).
+//	Step 3: commit the updates to memory and make them durable.
+//	Step 4: clear logged_bit and make it durable (transaction complete).
+//
+// Each step ends with a persist barrier (sfence–pcommit–sfence), so one
+// transactional update issues at least 4 pcommits and 8 sfences.
+//
+// The log region lives in simulated NVM: a header line holding logged_bit
+// and the entry count, a packed array of entry metadata (the original line
+// address per entry), and one 64-byte data line per entry holding the
+// pre-image. Logging granularity is one cache line, matching the paper's
+// node-per-line layout.
+package txn
+
+import (
+	"fmt"
+
+	"specpersist/internal/exec"
+	"specpersist/internal/isa"
+	"specpersist/internal/mem"
+)
+
+// Stats aggregates transaction activity; the log-footprint experiment uses
+// it to compare logging policies.
+type Stats struct {
+	Txns       uint64 // committed transactions
+	Entries    uint64 // undo-log line entries written
+	MaxEntries int    // largest single transaction's entry count
+	Recoveries uint64 // rollbacks performed by Recover
+}
+
+// Manager owns one undo-log region and runs transactions against it. A
+// Manager supports one transaction at a time (the workloads are
+// single-threaded).
+type Manager struct {
+	env      *exec.Env
+	hdr      uint64 // header line: [0] logged_bit, [8] entry count
+	meta     uint64 // capacity packed uint64 original-line addresses
+	data     uint64 // capacity pre-image lines
+	capacity int
+	active   *Tx
+	stats    Stats
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// NewManager allocates a log region with room for capacity line entries.
+func NewManager(env *exec.Env, capacity int) *Manager {
+	if capacity <= 0 {
+		panic("txn: capacity must be positive")
+	}
+	metaLines := (capacity*8 + mem.LineSize - 1) / mem.LineSize
+	m := &Manager{
+		env:      env,
+		hdr:      env.AllocLines(1),
+		capacity: capacity,
+	}
+	m.meta = env.AllocLines(metaLines)
+	m.data = env.AllocLines(capacity)
+	return m
+}
+
+// Env returns the execution environment the manager runs on.
+func (m *Manager) Env() *exec.Env { return m.env }
+
+// Capacity returns the maximum number of line entries per transaction.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Begin starts a transaction. Returns an error if one is already active.
+func (m *Manager) Begin() (*Tx, error) {
+	if m.active != nil {
+		return nil, fmt.Errorf("txn: transaction already active")
+	}
+	t := &Tx{
+		m:      m,
+		logged: make(map[uint64]struct{}),
+	}
+	m.active = t
+	return t, nil
+}
+
+// MustBegin is Begin panicking on error; used by workload drivers whose
+// structure guarantees serial transactions.
+func (m *Manager) MustBegin() *Tx {
+	t, err := m.Begin()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Tx is an in-flight transaction. All methods are safe on a nil receiver,
+// which lets non-transactional (Base-variant) code share the transactional
+// code path by passing a nil *Tx.
+type Tx struct {
+	m        *Manager
+	n        int                 // entries written so far
+	logged   map[uint64]struct{} // line bases already logged
+	fresh    map[uint64]struct{} // line bases allocated inside this tx
+	touched  []uint64            // line bases modified in step 3, in order
+	touchSet map[uint64]struct{}
+	sealed   bool
+	done     bool
+}
+
+// Log records the pre-image of every cache line spanned by
+// [addr, addr+size) that has not been logged yet in this transaction.
+// dep is a dependence handle for the address computation. Must be called
+// before SetLogged.
+func (t *Tx) Log(addr uint64, size int, dep isa.Reg) {
+	if t == nil {
+		return
+	}
+	if t.sealed {
+		panic("txn: Log after SetLogged")
+	}
+	env := t.m.env
+	base := mem.LineAddr(addr)
+	for i := 0; i < mem.LinesSpanned(addr, size); i++ {
+		line := base + uint64(i*mem.LineSize)
+		if _, ok := t.logged[line]; ok {
+			continue
+		}
+		if t.n >= t.m.capacity {
+			panic(fmt.Sprintf("txn: log capacity %d exceeded", t.m.capacity))
+		}
+		t.logged[line] = struct{}{}
+		// Copy the pre-image into the entry's data line and record the
+		// original address in the packed metadata array, then write the
+		// data line back so step 1's barrier can make it durable.
+		src, ld := env.LoadBytes(line, mem.LineSize, dep)
+		entry := t.m.data + uint64(t.n*mem.LineSize)
+		env.StoreBytes(entry, src, ld, isa.NoReg)
+		env.StoreU64(t.m.meta+uint64(t.n*8), line, isa.NoReg, isa.NoReg)
+		env.Clwb(entry)
+		t.n++
+	}
+}
+
+// Sealed reports whether SetLogged has been called (the transaction is in
+// its update phase).
+func (t *Tx) Sealed() bool { return t != nil && t.sealed }
+
+// Fresh declares the lines spanned by [addr, addr+size) as freshly
+// allocated within this transaction. Fresh lines need no undo logging: they
+// are unreachable from the durable structure until the commit links them,
+// so a rollback simply leaks them.
+func (t *Tx) Fresh(addr uint64, size int) {
+	if t == nil {
+		return
+	}
+	if t.fresh == nil {
+		t.fresh = make(map[uint64]struct{})
+	}
+	base := mem.LineAddr(addr)
+	for i := 0; i < mem.LinesSpanned(addr, size); i++ {
+		t.fresh[base+uint64(i*mem.LineSize)] = struct{}{}
+	}
+}
+
+// Covered reports whether every line of [addr, addr+size) is either logged
+// or declared fresh — i.e. whether a store there is recoverable. The
+// structure audit tests use this to prove conservative logging is
+// sufficient.
+func (t *Tx) Covered(addr uint64, size int) bool {
+	if t == nil {
+		return true
+	}
+	base := mem.LineAddr(addr)
+	for i := 0; i < mem.LinesSpanned(addr, size); i++ {
+		line := base + uint64(i*mem.LineSize)
+		if _, ok := t.logged[line]; ok {
+			continue
+		}
+		if _, ok := t.fresh[line]; ok {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Logged reports the number of entries recorded so far.
+func (t *Tx) Logged() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// SetLogged completes steps 1 and 2: persists the log (entries, metadata,
+// count) with a barrier, then sets logged_bit and persists it with a second
+// barrier. After SetLogged the caller performs its updates.
+func (t *Tx) SetLogged() {
+	if t == nil {
+		return
+	}
+	if t.sealed {
+		panic("txn: SetLogged called twice")
+	}
+	t.sealed = true
+	env := t.m.env
+	// Step 1: entry data lines were written back as they were logged;
+	// persist the metadata lines and the entry count.
+	env.FlushRange(t.m.meta, t.n*8)
+	env.StoreU64(t.m.hdr+8, uint64(t.n), isa.NoReg, isa.NoReg)
+	env.Clwb(t.m.hdr)
+	env.PersistBarrier()
+	// Step 2: announce the transaction.
+	env.StoreU64(t.m.hdr, 1, isa.NoReg, isa.NoReg)
+	env.Clwb(t.m.hdr)
+	env.PersistBarrier()
+}
+
+// Touch records that the caller modified the lines spanned by
+// [addr, addr+size) during step 3, so Commit can write them back.
+func (t *Tx) Touch(addr uint64, size int) {
+	if t == nil {
+		return
+	}
+	if t.touchSet == nil {
+		t.touchSet = make(map[uint64]struct{})
+	}
+	base := mem.LineAddr(addr)
+	for i := 0; i < mem.LinesSpanned(addr, size); i++ {
+		line := base + uint64(i*mem.LineSize)
+		if _, ok := t.touchSet[line]; ok {
+			continue
+		}
+		t.touchSet[line] = struct{}{}
+		t.touched = append(t.touched, line)
+	}
+}
+
+// Commit completes steps 3 and 4: persists the touched lines with a
+// barrier, then clears logged_bit and persists it with a final barrier.
+func (t *Tx) Commit() {
+	if t == nil {
+		return
+	}
+	if !t.sealed {
+		panic("txn: Commit before SetLogged")
+	}
+	if t.done {
+		panic("txn: Commit called twice")
+	}
+	t.done = true
+	env := t.m.env
+	// Step 3: make the updates durable.
+	for _, line := range t.touched {
+		env.Clwb(line)
+	}
+	env.PersistBarrier()
+	// Step 4: retire the transaction.
+	env.StoreU64(t.m.hdr, 0, isa.NoReg, isa.NoReg)
+	env.Clwb(t.m.hdr)
+	env.PersistBarrier()
+	t.m.stats.Txns++
+	t.m.stats.Entries += uint64(t.n)
+	if t.n > t.m.stats.MaxEntries {
+		t.m.stats.MaxEntries = t.n
+	}
+	t.m.active = nil
+}
+
+// InProgress reports whether the durable state says a transaction was
+// active (logged_bit set). Meaningful after a crash.
+func (m *Manager) InProgress() bool {
+	return m.env.M.ReadU64(m.hdr) != 0
+}
+
+// Recover applies the undo log if logged_bit is set, restoring every logged
+// line's pre-image, persisting the restores, and clearing the bit. It
+// returns true if a rollback was performed.
+//
+// Recovery runs directly against the persistence model (fully fenced,
+// untraced): it models the post-restart recovery code, which is not part of
+// the measured workload.
+func (m *Manager) Recover() bool {
+	// Any transaction in flight at the crash is gone.
+	m.active = nil
+	pm := m.env.M
+	if pm.ReadU64(m.hdr) == 0 {
+		return false
+	}
+	count := pm.ReadU64(m.hdr + 8)
+	if count > uint64(m.capacity) {
+		panic(fmt.Sprintf("txn: corrupt log count %d", count))
+	}
+	// Apply entries in reverse. (With line-granularity pre-images and
+	// first-touch logging, order does not matter, but reverse matches the
+	// classical undo discipline.)
+	buf := make([]byte, mem.LineSize)
+	for i := int(count) - 1; i >= 0; i-- {
+		addr := pm.ReadU64(m.meta + uint64(i*8))
+		pm.Read(m.data+uint64(i*mem.LineSize), buf)
+		pm.Write(addr, buf)
+		pm.Clwb(addr)
+	}
+	pm.Pcommit()
+	pm.WriteU64(m.hdr, 0)
+	pm.Clwb(m.hdr)
+	pm.Pcommit()
+	m.active = nil
+	m.stats.Recoveries++
+	return true
+}
