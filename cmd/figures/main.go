@@ -7,6 +7,12 @@
 //	figures -fig 8           # one figure
 //	figures -table 3         # one table
 //	figures -scale 0.05      # bigger runs (1.0 = paper-scale op counts)
+//	figures -j 8             # run simulations on 8 workers
+//	figures -cache .sweepcache  # reuse completed runs across invocations
+//
+// The simulations behind each figure execute through the internal/sweep
+// engine: -j parallelizes them and -cache memoizes them on disk, and the
+// rendered output is byte-identical regardless of either flag.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"specpersist/internal/report"
+	"specpersist/internal/sweep"
 	"specpersist/internal/workload"
 )
 
@@ -32,10 +39,25 @@ func main() {
 		ablation = flag.Bool("ablation", false, "also run the SP design-choice ablations")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
 		chart    = flag.Bool("chart", false, "also render bar charts for the overhead figures")
+		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache)")
+		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
 	)
 	flag.Parse()
 
+	eng := &sweep.Engine{Workers: *jobs}
+	if *cacheDir != "" {
+		c, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng.Cache = c
+	}
+	if *progress {
+		eng.Progress = os.Stderr
+	}
 	s := workload.NewSuite(*scale, *seed)
+	s.Runner = eng
 	emit := func(name string, f func() *report.Table) {
 		start := time.Now()
 		tbl := f()

@@ -4,19 +4,45 @@
 // Usage:
 //
 //	spsim -bench LL -variant SP -scale 0.02 -ssb 256 -seed 1
+//	spsim -bench LL -variant SP -json      # machine-readable output
+//	spsim -list                            # enumerate benchmarks and variants
 //
 // Benchmarks: GH HM LL SS AT BT RT (paper Table 1).
 // Variants:   Base, Log, Log+P, Log+P+Sf, SP (paper Figure 8).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"specpersist/internal/core"
 	"specpersist/internal/workload"
 )
+
+// jsonOutput is the -json document: the resolved run identity plus the
+// full simulation result.
+type jsonOutput struct {
+	Bench   string          `json:"bench"`
+	Desc    string          `json:"desc"`
+	Variant string          `json:"variant"`
+	Scale   float64         `json:"scale"`
+	Seed    int64           `json:"seed"`
+	Result  workload.Result `json:"result"`
+}
+
+func list() {
+	fmt.Println("benchmarks:")
+	for _, b := range workload.Table1() {
+		fmt.Printf("  %-3s %s (InitOps %d, SimOps %d)\n", b.Name, b.Desc, b.InitOps, b.SimOps)
+	}
+	fmt.Println("variants:")
+	for _, v := range core.Variants() {
+		fmt.Printf("  %s\n", v)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,8 +56,15 @@ func main() {
 		ckpts     = flag.Int("checkpoints", 0, "checkpoint buffer entries for SP (0 = 4)")
 		overhead  = flag.Int("op-overhead", 0, "per-op application preamble length (0 = default, -1 = none)")
 		banks     = flag.Int("banks", 0, "NVMM banks (0 = default)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		listOnly  = flag.Bool("list", false, "list valid benchmarks and variants, then exit")
 	)
 	flag.Parse()
+
+	if *listOnly {
+		list()
+		return
+	}
 
 	b, err := workload.FindBench(*benchName)
 	if err != nil {
@@ -54,9 +87,29 @@ func main() {
 		OpOverhead:  *overhead,
 		Options:     &opts,
 	}
+	job := workload.Job{Bench: b, Config: rc}
+	if err := job.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	r, err := workload.Run(b, rc)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		out := jsonOutput{
+			Bench:   b.Name,
+			Desc:    b.Desc,
+			Variant: v.String(),
+			Scale:   rc.EffectiveScale(),
+			Seed:    *seed,
+			Result:  r,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	s := r.Stats
 	fmt.Printf("benchmark            %s (%s)\n", b.Name, b.Desc)

@@ -30,6 +30,10 @@ import (
 // Audit, when true, makes every transactional store verify that its target
 // line is covered by the undo log (or is freshly allocated). Enabled by
 // tests; off by default because the check costs a map lookup per store.
+//
+// Audit is the package's only mutable global: set it before starting any
+// concurrent runs (e.g. a parallel sweep) and leave it fixed while they
+// execute — toggling it mid-run is a data race.
 var Audit = false
 
 // Structure is the operation interface the workload harness drives. Apply

@@ -1,0 +1,156 @@
+// Package sweep is the experiment-orchestration engine: it expands a
+// declarative sweep specification into a deterministic job list, executes
+// the jobs on a worker pool, and memoizes every completed run in a
+// content-addressed on-disk cache so repeated or interrupted sweeps skip
+// work that is already done.
+//
+// The engine is what makes a paper-scale reproduction practical: the full
+// Figure 8–14 grid is an embarrassingly parallel cross-product of
+// independent simulations (workload.Run shares no mutable state between
+// runs), so wall-clock time divides by the worker count, and a sweep
+// killed halfway resumes from the cache instead of from zero.
+package sweep
+
+import (
+	"fmt"
+
+	"specpersist/internal/core"
+	"specpersist/internal/workload"
+)
+
+// Spec is a declarative sweep: the cross-product of every listed axis.
+// Empty axes fall back to defaults (all Table 1 benchmarks, all Figure 8
+// variants, seed 1, baseline hardware knobs). The zero value is the
+// standard evaluation grid.
+type Spec struct {
+	// Benches lists Table 1 abbreviations (GH HM LL SS AT BT RT); empty
+	// means all of them.
+	Benches []string `json:"benches,omitempty"`
+	// Variants lists Figure 8 bar labels (Base, Log, Log+P, Log+P+Sf,
+	// SP); empty means all of them.
+	Variants []string `json:"variants,omitempty"`
+	// Scale multiplies Table 1 op counts (0 = workload.DefaultScale,
+	// 1.0 = paper scale).
+	Scale float64 `json:"scale,omitempty"`
+	// Seeds lists operation-stream seeds; empty means {1}.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// SSB lists SP store-buffer sizes (Figure 13); 0 = the SP256
+	// default. Ignored for non-speculative variants.
+	SSB []int `json:"ssb,omitempty"`
+	// Checkpoints lists SP checkpoint-buffer sizes; 0 = the default.
+	Checkpoints []int `json:"checkpoints,omitempty"`
+	// Banks lists NVMM bank counts; 0 = the default controller.
+	Banks []int `json:"banks,omitempty"`
+	// OpOverhead lists per-op application-preamble lengths (0 = default,
+	// -1 = none).
+	OpOverhead []int `json:"op_overhead,omitempty"`
+	// MaxTraceOps caps the measured ops per run regardless of scale
+	// (0 = no cap).
+	MaxTraceOps int `json:"max_trace_ops,omitempty"`
+}
+
+func orDefault[T any](xs []T, def T) []T {
+	if len(xs) == 0 {
+		return []T{def}
+	}
+	return xs
+}
+
+// Plan expands the spec into its job list. The expansion is deterministic
+// (nested loops in declaration order: bench, variant, seed, ssb,
+// checkpoints, banks, op-overhead), normalized (knobs a variant ignores
+// are zeroed), deduplicated (the first occurrence of each distinct job
+// wins), and validated (unknown names and degenerate scales are errors).
+func Plan(spec Spec) ([]workload.Job, error) {
+	benchNames := spec.Benches
+	if len(benchNames) == 0 {
+		for _, b := range workload.Table1() {
+			benchNames = append(benchNames, b.Name)
+		}
+	}
+	var benches []workload.Bench
+	for _, name := range benchNames {
+		b, err := workload.FindBench(name)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, b)
+	}
+
+	var variants []core.Variant
+	if len(spec.Variants) == 0 {
+		variants = core.Variants()
+	} else {
+		for _, name := range spec.Variants {
+			v, err := core.ParseVariant(name)
+			if err != nil {
+				return nil, err
+			}
+			variants = append(variants, v)
+		}
+	}
+
+	for _, n := range spec.SSB {
+		if n < 0 {
+			return nil, fmt.Errorf("sweep: negative SSB size %d", n)
+		}
+	}
+	for _, n := range spec.Checkpoints {
+		if n < 0 {
+			return nil, fmt.Errorf("sweep: negative checkpoint count %d", n)
+		}
+	}
+	for _, n := range spec.Banks {
+		if n < 0 {
+			return nil, fmt.Errorf("sweep: negative bank count %d", n)
+		}
+	}
+
+	seeds := orDefault(spec.Seeds, 1)
+	ssbs := orDefault(spec.SSB, 0)
+	ckpts := orDefault(spec.Checkpoints, 0)
+	banks := orDefault(spec.Banks, 0)
+	overheads := orDefault(spec.OpOverhead, 0)
+
+	var jobs []workload.Job
+	seen := make(map[string]bool)
+	for _, b := range benches {
+		for _, v := range variants {
+			for _, seed := range seeds {
+				for _, ssb := range ssbs {
+					for _, ck := range ckpts {
+						for _, bank := range banks {
+							for _, oh := range overheads {
+								rc := workload.RunConfig{
+									Variant:     v,
+									Scale:       spec.Scale,
+									Seed:        seed,
+									SSBEntries:  ssb,
+									Checkpoints: ck,
+									OpOverhead:  oh,
+									MaxTraceOps: spec.MaxTraceOps,
+								}
+								if bank > 0 {
+									opts := core.DefaultOptions()
+									opts.Mem.Banks = bank
+									rc.Options = &opts
+								}
+								j := workload.Job{Bench: b, Config: rc}.Normalize()
+								if err := j.Validate(); err != nil {
+									return nil, err
+								}
+								fp := j.Fingerprint()
+								if seen[fp] {
+									continue
+								}
+								seen[fp] = true
+								jobs = append(jobs, j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}

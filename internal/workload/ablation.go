@@ -44,9 +44,25 @@ func AblationPoints() []AblationPoint {
 	}
 }
 
+// ablationJob is one benchmark under one SP design point.
+func (s *Suite) ablationJob(b Bench, spc cpu.SPConfig) Job {
+	j := s.job(b, core.VariantSP)
+	sp := spc
+	j.Config.SPOverride = &sp
+	return j
+}
+
 // Ablation runs every ablation point over the Table 1 benchmarks and
 // reports the gmean overhead vs Base for each.
 func (s *Suite) Ablation() *report.Table {
+	jobs := s.grid(core.VariantBase, core.VariantLogP, core.VariantLogPSf)
+	for _, p := range AblationPoints() {
+		for _, b := range Table1() {
+			jobs = append(jobs, s.ablationJob(b, p.SP))
+		}
+	}
+	s.prime(jobs)
+
 	t := &report.Table{
 		Title:   "Ablation: SP design choices (gmean overhead vs Base)",
 		Columns: []string{"Config", "Overhead", "Notes"},
@@ -55,11 +71,7 @@ func (s *Suite) Ablation() *report.Table {
 		var ratios []float64
 		for _, b := range Table1() {
 			base := s.Get(b, core.VariantBase).Stats.Cycles
-			sp := p.SP
-			r := MustRun(b, RunConfig{
-				Variant: core.VariantSP, Scale: s.Scale, Seed: s.Seed,
-				SPOverride: &sp,
-			})
+			r := s.get(s.ablationJob(b, p.SP))
 			ratios = append(ratios, float64(r.Stats.Cycles)/float64(base))
 		}
 		t.AddRow(p.Name, report.Pct(report.GeoMeanOverhead(ratios)), p.Desc)
@@ -76,20 +88,35 @@ func (s *Suite) Ablation() *report.Table {
 	return t
 }
 
+// checkpointJob is one benchmark under SP with an overridden
+// checkpoint-buffer size.
+func (s *Suite) checkpointJob(b Bench, n int) Job {
+	j := s.job(b, core.VariantSP)
+	j.Config.Checkpoints = n
+	return j
+}
+
 // CheckpointSweep measures gmean SP overhead for checkpoint buffer sizes
 // 1..8 (the paper picks 4 from Figure 11).
 func (s *Suite) CheckpointSweep() *report.Table {
+	sizes := []int{1, 2, 3, 4, 6, 8}
+	jobs := s.grid(core.VariantBase)
+	for _, n := range sizes {
+		for _, b := range Table1() {
+			jobs = append(jobs, s.checkpointJob(b, n))
+		}
+	}
+	s.prime(jobs)
+
 	t := &report.Table{
 		Title:   "Checkpoint-buffer sweep (gmean SP overhead vs Base)",
 		Columns: []string{"Checkpoints", "Overhead"},
 	}
-	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+	for _, n := range sizes {
 		var ratios []float64
 		for _, b := range Table1() {
 			base := s.Get(b, core.VariantBase).Stats.Cycles
-			r := MustRun(b, RunConfig{
-				Variant: core.VariantSP, Scale: s.Scale, Seed: s.Seed, Checkpoints: n,
-			})
+			r := s.get(s.checkpointJob(b, n))
 			ratios = append(ratios, float64(r.Stats.Cycles)/float64(base))
 		}
 		t.AddRow(fmt.Sprint(n), report.Pct(report.GeoMeanOverhead(ratios)))

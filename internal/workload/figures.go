@@ -9,32 +9,90 @@ import (
 	"specpersist/internal/sp"
 )
 
-// Suite runs the evaluation experiments and caches per-variant results so
-// figures 8-10 share one set of simulations.
+// Suite assembles the evaluation tables and figures from simulation
+// results. Each figure first declares the full grid of jobs it needs,
+// executes the missing ones through the Runner as a single batch — so a
+// parallel runner overlaps them — and then reads every cell from the
+// in-memory result map. Results are shared across figures (8–10 reuse one
+// set of simulations), and the assembly order is fixed, so the rendered
+// output is byte-identical no matter how the runner schedules the work.
 type Suite struct {
 	Scale float64
 	Seed  int64
-	// cache[bench][variant]
-	results map[string]map[core.Variant]Result
+	// Runner executes job batches; nil means SerialRunner. cmd/figures
+	// installs a sweep.Engine here for parallelism and disk caching.
+	Runner Runner
+	// results maps job fingerprints to completed results.
+	results map[string]Result
 }
 
 // NewSuite returns an experiment suite at the given scale (0 = default).
 func NewSuite(scale float64, seed int64) *Suite {
-	return &Suite{Scale: scale, Seed: seed, results: make(map[string]map[core.Variant]Result)}
+	return &Suite{Scale: scale, Seed: seed, results: make(map[string]Result)}
+}
+
+func (s *Suite) runner() Runner {
+	if s.Runner == nil {
+		return SerialRunner{}
+	}
+	return s.Runner
+}
+
+// prime runs every job not yet in the result map as one batch.
+func (s *Suite) prime(jobs []Job) {
+	var missing []Job
+	batched := make(map[string]bool)
+	for _, j := range jobs {
+		fp := j.Fingerprint()
+		if _, ok := s.results[fp]; ok || batched[fp] {
+			continue
+		}
+		batched[fp] = true
+		missing = append(missing, j)
+	}
+	if len(missing) == 0 {
+		return
+	}
+	rs, err := s.runner().RunJobs(missing)
+	if err != nil {
+		panic(err) // experiment drivers treat a failed run as fatal (cf. MustRun)
+	}
+	for i, j := range missing {
+		s.results[j.Fingerprint()] = rs[i]
+	}
+}
+
+// get returns the job's result, running it on demand if no batch primed
+// it yet.
+func (s *Suite) get(j Job) Result {
+	fp := j.Fingerprint()
+	if r, ok := s.results[fp]; ok {
+		return r
+	}
+	s.prime([]Job{j})
+	return s.results[fp]
+}
+
+// job builds the suite's standard job for one benchmark and variant.
+func (s *Suite) job(b Bench, v core.Variant) Job {
+	return NewJob(b, v, s.Scale, s.Seed)
+}
+
+// grid lists the suite jobs for every Table 1 benchmark crossed with the
+// given variants.
+func (s *Suite) grid(variants ...core.Variant) []Job {
+	var jobs []Job
+	for _, b := range Table1() {
+		for _, v := range variants {
+			jobs = append(jobs, s.job(b, v))
+		}
+	}
+	return jobs
 }
 
 // Get runs (or returns the cached) benchmark x variant simulation.
 func (s *Suite) Get(b Bench, v core.Variant) Result {
-	if m, ok := s.results[b.Name]; ok {
-		if r, ok := m[v]; ok {
-			return r
-		}
-	} else {
-		s.results[b.Name] = make(map[core.Variant]Result)
-	}
-	r := MustRun(b, RunConfig{Variant: v, Scale: s.Scale, Seed: s.Seed})
-	s.results[b.Name][v] = r
-	return r
+	return s.get(s.job(b, v))
 }
 
 // Table1Report renders the benchmark table.
@@ -82,6 +140,7 @@ func Table3Report() *report.Table {
 // Fig8 reproduces Figure 8: execution-time overheads of Log, Log+P,
 // Log+P+Sf and SP256, normalized to the non-persistent baseline.
 func (s *Suite) Fig8() *report.Table {
+	s.prime(s.grid(core.Variants()...))
 	t := &report.Table{
 		Title:   "Figure 8: execution time overhead vs Base",
 		Columns: []string{"Bench", "Log", "Log+P", "Log+P+Sf", "SP256"},
@@ -118,6 +177,7 @@ func (s *Suite) Fig8() *report.Table {
 
 // Fig9 reproduces Figure 9: committed-instruction ratio to baseline.
 func (s *Suite) Fig9() *report.Table {
+	s.prime(s.grid(core.VariantBase, core.VariantLog, core.VariantLogP, core.VariantLogPSf))
 	t := &report.Table{
 		Title:   "Figure 9: committed instructions / Base",
 		Columns: []string{"Bench", "Log", "Log+P", "Log+P+Sf"},
@@ -135,6 +195,7 @@ func (s *Suite) Fig9() *report.Table {
 
 // Fig10 reproduces Figure 10: fetch-queue stall cycles / baseline cycles.
 func (s *Suite) Fig10() *report.Table {
+	s.prime(s.grid(core.Variants()...))
 	t := &report.Table{
 		Title:   "Figure 10: fetch queue stall cycles / Base cycles",
 		Columns: []string{"Bench", "Log", "Log+P", "Log+P+Sf", "SP256"},
@@ -153,6 +214,7 @@ func (s *Suite) Fig10() *report.Table {
 // Fig11 reproduces Figure 11: maximum in-flight pcommits, measured on
 // Log+P (no fences), motivating the 4-entry checkpoint buffer.
 func (s *Suite) Fig11() *report.Table {
+	s.prime(s.grid(core.VariantLogP))
 	t := &report.Table{
 		Title:   "Figure 11: maximum number of in-flight pcommits (Log+P)",
 		Columns: []string{"Bench", "Max concurrent pcommits"},
@@ -167,6 +229,7 @@ func (s *Suite) Fig11() *report.Table {
 // Fig12 reproduces Figure 12: average stores (incl. clwb/clflush) executed
 // while a pcommit is outstanding, measured on Log+P.
 func (s *Suite) Fig12() *report.Table {
+	s.prime(s.grid(core.VariantLogP))
 	t := &report.Table{
 		Title:   "Figure 12: avg speculative-window stores per outstanding pcommit (Log+P)",
 		Columns: []string{"Bench", "Stores/pcommit"},
@@ -178,9 +241,24 @@ func (s *Suite) Fig12() *report.Table {
 	return t
 }
 
+// ssbJob is the Figure 13 job: SP at a specific SSB size.
+func (s *Suite) ssbJob(b Bench, entries int) Job {
+	j := s.job(b, core.VariantSP)
+	j.Config.SSBEntries = entries
+	return j
+}
+
 // Fig13 reproduces Figure 13: SP overhead vs baseline across SSB sizes.
 func (s *Suite) Fig13() *report.Table {
 	sizes := sp.SSBSizes()
+	jobs := s.grid(core.VariantBase)
+	for _, b := range Table1() {
+		for _, n := range sizes {
+			jobs = append(jobs, s.ssbJob(b, n))
+		}
+	}
+	s.prime(jobs)
+
 	cols := []string{"Bench"}
 	for _, n := range sizes {
 		cols = append(cols, fmt.Sprintf("SP%d", n))
@@ -191,7 +269,7 @@ func (s *Suite) Fig13() *report.Table {
 		base := s.Get(b, core.VariantBase).Stats.Cycles
 		row := []string{b.Name}
 		for i, n := range sizes {
-			r := MustRun(b, RunConfig{Variant: core.VariantSP, Scale: s.Scale, Seed: s.Seed, SSBEntries: n})
+			r := s.get(s.ssbJob(b, n))
 			row = append(row, report.Pct(report.Overhead(r.Stats.Cycles, base)))
 			ratios[i] = append(ratios[i], float64(r.Stats.Cycles)/float64(base))
 		}
@@ -209,6 +287,7 @@ func (s *Suite) Fig13() *report.Table {
 // SP256 — an extension of the Figure 10 analysis showing where the fence
 // cost goes and what residual stalls SP leaves.
 func (s *Suite) StallBreakdown() *report.Table {
+	s.prime(s.grid(core.VariantBase, core.VariantLogPSf, core.VariantSP))
 	t := &report.Table{
 		Title: "Stall breakdown: complete-but-blocked ROB-head cycles / Base cycles",
 		Columns: []string{"Bench", "Variant", "fence", "checkpoint", "ssb-full",
@@ -234,6 +313,7 @@ func (s *Suite) StallBreakdown() *report.Table {
 // order of magnitude more undo entries per operation than the flat
 // structures.
 func (s *Suite) LogFootprint() *report.Table {
+	s.prime(s.grid(core.VariantLogPSf))
 	t := &report.Table{
 		Title:   "Undo-log footprint (Log+P+Sf): line entries per transaction",
 		Columns: []string{"Bench", "Txns", "Entries/txn", "Max entries"},
@@ -252,6 +332,7 @@ func (s *Suite) LogFootprint() *report.Table {
 // Fig14 reproduces Figure 14: Bloom-filter false-positive rates under
 // SP256.
 func (s *Suite) Fig14() *report.Table {
+	s.prime(s.grid(core.VariantSP))
 	t := &report.Table{
 		Title:   "Figure 14: Bloom filter false positive rate (SP256)",
 		Columns: []string{"Bench", "FP rate", "Queries", "False positives"},

@@ -1,0 +1,78 @@
+// These tests live in an external test package so they can wire the
+// internal/sweep engine (which imports workload) into the figures Suite
+// without an import cycle. They pin the tentpole acceptance property:
+// figure output is byte-identical between the serial path and the
+// sweep-backed path, at any worker count, with or without the disk cache.
+package workload_test
+
+import (
+	"testing"
+
+	"specpersist/internal/sweep"
+	"specpersist/internal/workload"
+)
+
+// figScale keeps the full 7-benchmark grid affordable in a unit test.
+const figScale = 0.0002
+
+// renderAll exercises figures that share the Fig8 grid plus one extra
+// variant-only table.
+func renderAll(s *workload.Suite) string {
+	return s.Fig8().String() + s.Fig9().String() + s.Fig12().String() + s.LogFootprint().String()
+}
+
+func TestFiguresParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid figure comparison")
+	}
+	serial := workload.NewSuite(figScale, 7)
+	want := renderAll(serial)
+
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := workload.NewSuite(figScale, 7)
+	par.Runner = &sweep.Engine{Workers: 8, Cache: cache}
+	if got := renderAll(par); got != want {
+		t.Errorf("sweep-backed figures differ from the serial path:\n--- serial ---\n%s\n--- sweep ---\n%s", want, got)
+	}
+
+	// A fresh suite over the warm cache must also render identically —
+	// and without re-running a single simulation.
+	counting := &countingRunner{engine: &sweep.Engine{Workers: 8, Cache: cache}}
+	resumed := workload.NewSuite(figScale, 7)
+	resumed.Runner = counting
+	if got := renderAll(resumed); got != want {
+		t.Error("cache-resumed figures differ from the serial path")
+	}
+	if counting.misses > 0 {
+		t.Errorf("%d of %d jobs re-ran despite a warm cache", counting.misses, counting.jobs)
+	}
+	if counting.jobs == 0 {
+		t.Error("counting runner saw no jobs")
+	}
+}
+
+// countingRunner wraps an engine and records cache misses.
+type countingRunner struct {
+	engine *sweep.Engine
+	jobs   int
+	misses int
+}
+
+func (c *countingRunner) RunJobs(jobs []workload.Job) ([]workload.Result, error) {
+	jrs, err := c.engine.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]workload.Result, len(jrs))
+	for i, jr := range jrs {
+		c.jobs++
+		if !jr.Cached {
+			c.misses++
+		}
+		results[i] = jr.Result
+	}
+	return results, nil
+}

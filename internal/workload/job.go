@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"specpersist/internal/core"
+	"specpersist/internal/cpu"
+)
+
+// Job pairs one Table 1 benchmark with one run configuration: the unit of
+// work an experiment sweep schedules. Two jobs with equal fingerprints are
+// guaranteed to produce identical Results (Run is deterministic), which is
+// what makes both in-memory result sharing and the on-disk sweep cache
+// sound.
+type Job struct {
+	Bench  Bench
+	Config RunConfig
+}
+
+// NewJob builds a job for a benchmark and variant with the suite-wide
+// scale and seed, leaving the remaining knobs at their defaults.
+func NewJob(b Bench, v core.Variant, scale float64, seed int64) Job {
+	return Job{Bench: b, Config: RunConfig{Variant: v, Scale: scale, Seed: seed}}
+}
+
+// Run executes the job.
+func (j Job) Run() (Result, error) { return Run(j.Bench, j.Config) }
+
+// Validate reports an error for configurations Run would accept but turn
+// into a degenerate experiment — today that is a scale so small the
+// benchmark's measured-phase op count rounds to zero.
+func (j Job) Validate() error {
+	scale := j.Config.EffectiveScale()
+	if int(float64(j.Bench.SimOps)*scale) < 1 {
+		return fmt.Errorf("workload %s: scale %g rounds the measured phase to zero ops (SimOps %d); raise -scale to at least %g",
+			j.Bench.Name, scale, j.Bench.SimOps, 1/float64(j.Bench.SimOps))
+	}
+	return nil
+}
+
+// Normalize resolves defaults and zeroes knobs the configuration ignores,
+// so equivalent jobs compare (and fingerprint) equal: non-speculative
+// variants drop the SP knobs, and an SPOverride supersedes the individual
+// SSB/checkpoint overrides.
+func (j Job) Normalize() Job {
+	rc := j.Config
+	rc.Scale = rc.EffectiveScale()
+	rc.OpOverhead = rc.EffectiveOpOverhead()
+	if rc.OpOverhead == 0 {
+		rc.OpOverhead = -1 // keep "disabled" distinct from "default"
+	}
+	if opts := rc.Options; opts == nil {
+		def := core.DefaultOptions()
+		rc.Options = &def
+	} else {
+		o := *opts
+		rc.Options = &o
+	}
+	if rc.Variant.Speculative() {
+		// An SPOverride that only changes the sizing knobs is the same
+		// machine as the knob form; canonicalize to the knobs so the
+		// two spellings share one cache entry.
+		if sp := rc.SPOverride; sp != nil && sp.SSBEntries > 0 && sp.Checkpoints > 0 {
+			probe := *sp
+			def := cpu.DefaultSPConfig()
+			probe.SSBEntries = def.SSBEntries
+			probe.Checkpoints = def.Checkpoints
+			if probe == def {
+				rc.SSBEntries = sp.SSBEntries
+				rc.Checkpoints = sp.Checkpoints
+				rc.SPOverride = nil
+			}
+		}
+		if rc.SPOverride != nil {
+			sp := *rc.SPOverride
+			rc.SPOverride = &sp
+			rc.SSBEntries = 0
+			rc.Checkpoints = 0
+		} else {
+			if rc.SSBEntries == 0 {
+				rc.SSBEntries = cpu.DefaultSPConfig().SSBEntries
+			}
+			if rc.Checkpoints == 0 {
+				rc.Checkpoints = cpu.DefaultSPConfig().Checkpoints
+			}
+		}
+	} else {
+		rc.SSBEntries = 0
+		rc.Checkpoints = 0
+		rc.SPOverride = nil
+	}
+	if !rc.Variant.Transactional() {
+		rc.IncrementalBT = false
+	}
+	if j.Bench.Name != "BT" {
+		rc.IncrementalBT = false
+	}
+	return Job{Bench: j.Bench, Config: rc}
+}
+
+// fingerprintView is the canonical, fully-resolved form of a job that the
+// fingerprint serializes. Every field that can change a Result must appear
+// here.
+type fingerprintView struct {
+	Bench         Bench
+	Variant       string
+	Scale         float64
+	Seed          int64
+	Options       core.Options
+	SSBEntries    int
+	Checkpoints   int
+	SPOverride    *cpu.SPConfig
+	IncrementalBT bool
+	MaxTraceOps   int
+	OpOverhead    int
+}
+
+// Fingerprint returns a canonical textual identity for the job: two jobs
+// with the same fingerprint run the same simulation and yield the same
+// Result. The sweep engine hashes it for the content-addressed result
+// cache.
+func (j Job) Fingerprint() string {
+	n := j.Normalize()
+	v := fingerprintView{
+		Bench:         n.Bench,
+		Variant:       n.Config.Variant.String(),
+		Scale:         n.Config.Scale,
+		Seed:          n.Config.Seed,
+		Options:       *n.Config.Options,
+		SSBEntries:    n.Config.SSBEntries,
+		Checkpoints:   n.Config.Checkpoints,
+		SPOverride:    n.Config.SPOverride,
+		IncrementalBT: n.Config.IncrementalBT,
+		MaxTraceOps:   n.Config.MaxTraceOps,
+		OpOverhead:    n.Config.OpOverhead,
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("workload: fingerprint marshal: %v", err)) // struct of plain values; cannot fail
+	}
+	return string(b)
+}
+
+// Label returns the short human-readable job description used by progress
+// output and error messages.
+func (j Job) Label() string {
+	s := fmt.Sprintf("%s/%s seed=%d scale=%g", j.Bench.Name, j.Config.Variant, j.Config.Seed, j.Config.EffectiveScale())
+	if j.Config.SSBEntries > 0 {
+		s += fmt.Sprintf(" ssb=%d", j.Config.SSBEntries)
+	}
+	if j.Config.Checkpoints > 0 {
+		s += fmt.Sprintf(" ckpt=%d", j.Config.Checkpoints)
+	}
+	if j.Config.SPOverride != nil {
+		s += " sp-override"
+	}
+	return s
+}
+
+// Runner executes a batch of jobs and returns their results in job order.
+// The default implementation is SerialRunner; internal/sweep provides a
+// parallel, disk-caching implementation.
+type Runner interface {
+	RunJobs(jobs []Job) ([]Result, error)
+}
+
+// SerialRunner runs each job on the calling goroutine, in order.
+type SerialRunner struct{}
+
+// RunJobs implements Runner.
+func (SerialRunner) RunJobs(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	for i, j := range jobs {
+		r, err := j.Run()
+		if err != nil {
+			return nil, fmt.Errorf("job %s: %w", j.Label(), err)
+		}
+		results[i] = r
+	}
+	return results, nil
+}

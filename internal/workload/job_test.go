@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"specpersist/internal/core"
+	"specpersist/internal/cpu"
+)
+
+// tinyJob is a fast job for engine-level tests.
+func tinyJob(v core.Variant) Job {
+	b, _ := FindBench("LL")
+	return Job{Bench: b, Config: tinyRC(v)}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	// The cache and the parallel sweep are only sound if Run is a pure
+	// function of (bench, config); run the same job twice and demand
+	// identical Results down to every counter.
+	for _, v := range []core.Variant{core.VariantBase, core.VariantLogPSf, core.VariantSP} {
+		j := tinyJob(v)
+		r1, err := j.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		r2, err := j.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s: same job produced different results:\n%+v\n%+v", v, r1, r2)
+		}
+	}
+}
+
+func TestFingerprintCanonicalizesDefaults(t *testing.T) {
+	b, _ := FindBench("LL")
+	plain := Job{Bench: b, Config: RunConfig{Variant: core.VariantSP, Scale: 0.01, Seed: 1}}
+
+	// Spelling out the default SSB/checkpoint sizes is the same machine.
+	knobs := plain
+	knobs.Config.SSBEntries = cpu.DefaultSPConfig().SSBEntries
+	knobs.Config.Checkpoints = cpu.DefaultSPConfig().Checkpoints
+	if plain.Fingerprint() != knobs.Fingerprint() {
+		t.Error("explicit default knobs changed the fingerprint")
+	}
+
+	// An SPOverride equal to the default config is the same machine.
+	def := cpu.DefaultSPConfig()
+	override := plain
+	override.Config.SPOverride = &def
+	if plain.Fingerprint() != override.Fingerprint() {
+		t.Error("default SPOverride changed the fingerprint")
+	}
+
+	// An SPOverride that only resizes the checkpoint buffer matches the
+	// knob spelling.
+	ck2 := cpu.DefaultSPConfig()
+	ck2.Checkpoints = 2
+	viaOverride := plain
+	viaOverride.Config.SPOverride = &ck2
+	viaKnob := plain
+	viaKnob.Config.Checkpoints = 2
+	if viaOverride.Fingerprint() != viaKnob.Fingerprint() {
+		t.Error("checkpoint-only SPOverride does not match the knob form")
+	}
+
+	// Non-speculative variants ignore the SP knobs entirely.
+	base := Job{Bench: b, Config: RunConfig{Variant: core.VariantBase, Scale: 0.01, Seed: 1}}
+	baseSSB := base
+	baseSSB.Config.SSBEntries = 512
+	if base.Fingerprint() != baseSSB.Fingerprint() {
+		t.Error("SSB knob leaked into a Base fingerprint")
+	}
+
+	// Explicit default options match nil options.
+	opts := core.DefaultOptions()
+	withOpts := plain
+	withOpts.Config.Options = &opts
+	if plain.Fingerprint() != withOpts.Fingerprint() {
+		t.Error("explicit default Options changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	b, _ := FindBench("LL")
+	base := Job{Bench: b, Config: RunConfig{Variant: core.VariantSP, Scale: 0.01, Seed: 1}}
+	mutations := map[string]func(*Job){
+		"seed":     func(j *Job) { j.Config.Seed = 2 },
+		"scale":    func(j *Job) { j.Config.Scale = 0.02 },
+		"variant":  func(j *Job) { j.Config.Variant = core.VariantLogPSf },
+		"ssb":      func(j *Job) { j.Config.SSBEntries = 32 },
+		"ckpt":     func(j *Job) { j.Config.Checkpoints = 2 },
+		"overhead": func(j *Job) { j.Config.OpOverhead = 10 },
+		"maxops":   func(j *Job) { j.Config.MaxTraceOps = 5 },
+		"banks": func(j *Job) {
+			opts := core.DefaultOptions()
+			opts.Mem.Banks = 4
+			j.Config.Options = &opts
+		},
+		"bench": func(j *Job) { j.Bench, _ = FindBench("HM") },
+	}
+	for name, mutate := range mutations {
+		j := base
+		mutate(&j)
+		if j.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestNormalizeDoesNotChangeResult(t *testing.T) {
+	// A normalized job must run the exact same simulation.
+	j := tinyJob(core.VariantSP)
+	r1, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := j.Normalize().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("normalized job produced a different result")
+	}
+}
+
+func TestValidateDegenerateScale(t *testing.T) {
+	b, _ := FindBench("LL")
+	bad := Job{Bench: b, Config: RunConfig{Variant: core.VariantBase, Scale: 1e-9}}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("degenerate scale accepted")
+	}
+	if !strings.Contains(err.Error(), "zero ops") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	ok := Job{Bench: b, Config: RunConfig{Variant: core.VariantBase, Scale: 0.01}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid scale rejected: %v", err)
+	}
+}
+
+func TestSerialRunner(t *testing.T) {
+	jobs := []Job{tinyJob(core.VariantBase), tinyJob(core.VariantLog)}
+	rs, err := SerialRunner{}.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i, j := range jobs {
+		want := MustRun(j.Bench, j.Config)
+		if !reflect.DeepEqual(rs[i], want) {
+			t.Errorf("job %d result differs from direct run", i)
+		}
+	}
+}

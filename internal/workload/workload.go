@@ -94,7 +94,9 @@ type RunConfig struct {
 // EXPERIMENTS.md.
 const DefaultOpOverhead = 1600
 
-func (rc RunConfig) opOverhead() int {
+// EffectiveOpOverhead resolves the OpOverhead knob: the default chain
+// length when 0, and 0 (no preamble) when negative.
+func (rc RunConfig) EffectiveOpOverhead() int {
 	if rc.OpOverhead < 0 {
 		return 0
 	}
@@ -108,7 +110,8 @@ func (rc RunConfig) opOverhead() int {
 // small enough for a laptop test cycle.
 const DefaultScale = 0.01
 
-func (rc RunConfig) scale() float64 {
+// EffectiveScale resolves the Scale knob (non-positive means the default).
+func (rc RunConfig) EffectiveScale() float64 {
 	if rc.Scale <= 0 {
 		return DefaultScale
 	}
@@ -182,7 +185,7 @@ func (o *opSource) Next() (isa.Instr, bool) {
 // Run executes one benchmark under one configuration and returns the
 // timing statistics.
 func Run(b Bench, rc RunConfig) (Result, error) {
-	s := rc.scale()
+	s := rc.EffectiveScale()
 	env := exec.New()
 	env.Level = rc.Variant.Level()
 
@@ -227,7 +230,7 @@ func Run(b Bench, rc RunConfig) (Result, error) {
 	src := &opSource{}
 	bld := trace.NewBuilder(&src.buf)
 	env.SetBuilder(bld)
-	overhead := rc.opOverhead()
+	overhead := rc.EffectiveOpOverhead()
 	done := 0
 	src.next = func() bool {
 		if done >= simOps {
