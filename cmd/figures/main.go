@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"specpersist/internal/core"
 	"specpersist/internal/report"
 	"specpersist/internal/sweep"
 	"specpersist/internal/workload"
@@ -42,6 +43,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache)")
 		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
+		stalls   = flag.Bool("stalls", false, "print per-benchmark stall attribution (Log+P+Sf and SP)")
 	)
 	flag.Parse()
 
@@ -122,5 +124,13 @@ func main() {
 		emit("ckpt-sweep", func() *report.Table { return s.CheckpointSweep() })
 		emit("stall-breakdown", func() *report.Table { return s.StallBreakdown() })
 		emit("log-footprint", func() *report.Table { return s.LogFootprint() })
+	}
+	if *stalls {
+		for _, b := range workload.Table1() {
+			for _, v := range []core.Variant{core.VariantLogPSf, core.VariantSP} {
+				bench, variant := b, v
+				emit("stalls", func() *report.Table { return s.StallAttribution(bench, variant) })
+			}
+		}
 	}
 }

@@ -5,10 +5,14 @@
 //
 //	spsim -bench LL -variant SP -scale 0.02 -ssb 256 -seed 1
 //	spsim -bench LL -variant SP -json      # machine-readable output
+//	spsim -bench BT -variant SP -timeline out.json  # Chrome trace
 //	spsim -list                            # enumerate benchmarks and variants
 //
 // Benchmarks: GH HM LL SS AT BT RT (paper Table 1).
 // Variants:   Base, Log, Log+P, Log+P+Sf, SP (paper Figure 8).
+//
+// The -timeline file is Chrome trace_event JSON: load it at
+// chrome://tracing or https://ui.perfetto.dev (1 cycle renders as 1 µs).
 package main
 
 import (
@@ -19,11 +23,13 @@ import (
 	"os"
 
 	"specpersist/internal/core"
+	"specpersist/internal/obs"
 	"specpersist/internal/workload"
 )
 
 // jsonOutput is the -json document: the resolved run identity plus the
-// full simulation result.
+// full simulation result and the stall attribution derived from its
+// metrics snapshot.
 type jsonOutput struct {
 	Bench   string          `json:"bench"`
 	Desc    string          `json:"desc"`
@@ -31,6 +37,7 @@ type jsonOutput struct {
 	Scale   float64         `json:"scale"`
 	Seed    int64           `json:"seed"`
 	Result  workload.Result `json:"result"`
+	Stalls  []obs.StallLine `json:"stalls,omitempty"`
 }
 
 func list() {
@@ -57,6 +64,8 @@ func main() {
 		overhead  = flag.Int("op-overhead", 0, "per-op application preamble length (0 = default, -1 = none)")
 		banks     = flag.Int("banks", 0, "NVMM banks (0 = default)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		timeline  = flag.String("timeline", "", "write a Chrome trace_event JSON timeline to this file")
+		tlCap     = flag.Int("timeline-cap", obs.DefaultTimelineCap, "timeline ring-buffer capacity (events)")
 		listOnly  = flag.Bool("list", false, "list valid benchmarks and variants, then exit")
 	)
 	flag.Parse()
@@ -87,6 +96,11 @@ func main() {
 		OpOverhead:  *overhead,
 		Options:     &opts,
 	}
+	var tl *obs.Timeline
+	if *timeline != "" {
+		tl = obs.NewTimeline(*tlCap)
+		rc.Timeline = tl
+	}
 	job := workload.Job{Bench: b, Config: rc}
 	if err := job.Validate(); err != nil {
 		log.Fatal(err)
@@ -94,6 +108,21 @@ func main() {
 	r, err := workload.Run(b, rc)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tl != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tl.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if n := tl.Dropped(); n > 0 {
+			log.Printf("timeline ring overflowed: %d oldest events dropped (raise -timeline-cap)", n)
+		}
 	}
 	if *jsonOut {
 		out := jsonOutput{
@@ -103,6 +132,7 @@ func main() {
 			Scale:   rc.EffectiveScale(),
 			Seed:    *seed,
 			Result:  r,
+			Stalls:  obs.StallReport(r.Metrics),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -133,4 +163,5 @@ func main() {
 	mcs := s.Mem
 	fmt.Printf("NVMM reads/writes    %d / %d (coalesced %d)\n", mcs.Reads, mcs.Writes, mcs.Coalesced)
 	fmt.Printf("WPQ max/stalls       %d / %d\n", mcs.WPQMax, mcs.WPQStalls)
+	fmt.Printf("\n%s", obs.FormatStallReport(r.Metrics))
 }

@@ -18,6 +18,7 @@ import (
 	"specpersist/internal/core"
 	"specpersist/internal/exec"
 	"specpersist/internal/isa"
+	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
 	"specpersist/internal/trace"
 	"specpersist/internal/txn"
@@ -133,6 +134,7 @@ func replay(args []string) {
 	ssb := fs.Int("ssb", 256, "SSB entries (with -sp)")
 	ckpts := fs.Int("checkpoints", 4, "checkpoint entries (with -sp)")
 	controllers := fs.Int("controllers", 1, "memory controllers")
+	timeline := fs.String("timeline", "", "write a Chrome trace_event JSON timeline to this file")
 	fs.Parse(args)
 
 	f, err := os.Open(*in)
@@ -144,16 +146,33 @@ func replay(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.DefaultOptions()
-	opts.Controllers = *controllers
+	variant := core.VariantLogPSf
+	copts := []core.Option{core.WithControllers(*controllers)}
 	if *sp {
-		opts = opts.WithSP(*ssb)
-		opts.CPU.SP.Checkpoints = *ckpts
+		variant = core.VariantSP
+		copts = append(copts, core.WithSSB(*ssb), core.WithCheckpoints(*ckpts))
 	}
-	sys := core.NewSystem(opts)
+	var tl *obs.Timeline
+	if *timeline != "" {
+		tl = obs.NewTimeline(obs.DefaultTimelineCap)
+		copts = append(copts, core.WithTimeline(tl))
+	}
+	sys := core.New(variant, copts...)
 	st := sys.Run(r)
 	if err := r.Err(); err != nil {
 		log.Fatal(err)
+	}
+	if tl != nil {
+		out, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tl.WriteTrace(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("cycles            %d\n", st.Cycles)
 	fmt.Printf("committed instrs  %d (IPC %.2f)\n", st.Committed, float64(st.Committed)/float64(st.Cycles))
@@ -163,6 +182,7 @@ func replay(args []string) {
 		fmt.Printf("speculation       %d entries, %d epochs, ckpt max %d, SSB max %d\n",
 			st.SpecEntries, st.SpecEpochs, st.CheckpointsMaxUsed, st.SSBMaxUsed)
 	}
+	fmt.Printf("\n%s", obs.FormatStallReport(sys.Metrics()))
 }
 
 func info(args []string) {

@@ -10,6 +10,7 @@ import (
 
 	"specpersist/internal/core"
 	"specpersist/internal/exec"
+	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
 	"specpersist/internal/trace"
 	"specpersist/internal/txn"
@@ -52,11 +53,11 @@ func main() {
 
 	// 4. Simulate the trace on the paper's Table 2 baseline, then on the
 	//    same machine with Speculative Persistence (SP256).
-	baseline := core.NewSystemFor(core.VariantLogPSf, core.DefaultOptions())
+	baseline := core.New(core.VariantLogPSf)
 	tr.Rewind()
 	st1 := baseline.Run(&tr)
 
-	sp := core.NewSystemFor(core.VariantSP, core.DefaultOptions())
+	sp := core.New(core.VariantSP)
 	tr.Rewind()
 	st2 := sp.Run(&tr)
 
@@ -65,4 +66,8 @@ func main() {
 		st2.Cycles, st2.SpecEntries, st2.SpecEpochs)
 	fmt.Printf("speedup           : %.2fx — the sfence-pcommit-sfence latency is hidden\n",
 		float64(st1.Cycles)/float64(st2.Cycles))
+
+	// 5. Ask the unified metrics snapshot where the baseline's cycles went:
+	//    the fence share is the latency SP hides.
+	fmt.Printf("\n%s", obs.FormatStallReport(baseline.Metrics()))
 }

@@ -13,6 +13,7 @@ package cache
 import (
 	"specpersist/internal/mem"
 	"specpersist/internal/memctl"
+	"specpersist/internal/obs"
 )
 
 // LevelConfig sizes one cache level.
@@ -317,3 +318,24 @@ func (h *Hierarchy) Dirty(addr uint64) bool {
 
 // Stats returns a copy of the hierarchy counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Register publishes the hierarchy's counters into the registry under the
+// "cache." key space.
+func (h *Hierarchy) Register(r *obs.Registry) {
+	levels := []struct {
+		name string
+		st   *LevelStats
+	}{
+		{"l1", &h.stats.L1}, {"l2", &h.stats.L2}, {"l3", &h.stats.L3},
+	}
+	for _, l := range levels {
+		st := l.st
+		r.RegisterFunc("cache."+l.name+".hits", func() uint64 { return st.Hits })
+		r.RegisterFunc("cache."+l.name+".misses", func() uint64 { return st.Misses })
+		r.RegisterFunc("cache."+l.name+".evictions", func() uint64 { return st.Evictions })
+		r.RegisterFunc("cache."+l.name+".dirty_evictions", func() uint64 { return st.DirtyEvictions })
+	}
+	r.RegisterFunc("cache.writebacks", func() uint64 { return h.stats.Writebacks })
+	r.RegisterFunc("cache.flushes", func() uint64 { return h.stats.Flushes })
+	r.RegisterFunc("cache.flush_dirty", func() uint64 { return h.stats.FlushDirty })
+}

@@ -19,6 +19,7 @@ import (
 	"specpersist/internal/cpu"
 	"specpersist/internal/exec"
 	"specpersist/internal/memctl"
+	"specpersist/internal/obs"
 	"specpersist/internal/trace"
 )
 
@@ -115,6 +116,9 @@ func DefaultOptions() Options {
 
 // WithSP enables Speculative Persistence with the given SSB size, keeping
 // the paper's other SP parameters.
+//
+// Deprecated: use New(v, WithSSB(ssbEntries)) instead; this survives for
+// callers that assemble an Options value by hand.
 func (o Options) WithSP(ssbEntries int) Options {
 	spc := cpu.DefaultSPConfig()
 	spc.SSBEntries = ssbEntries
@@ -127,10 +131,14 @@ type System struct {
 	MC    memctl.Memory
 	Cache *cache.Hierarchy
 	CPU   *cpu.CPU
+
+	reg *obs.Registry
+	tl  *obs.Timeline
 }
 
-// NewSystem builds a machine from options.
-func NewSystem(o Options) *System {
+// newSystem assembles the machine and wires every component into the
+// system's metric registry and (if any) its event timeline.
+func newSystem(o Options, tl *obs.Timeline) *System {
 	var mc memctl.Memory
 	if o.Controllers > 1 {
 		mc = memctl.NewMulti(o.Controllers, o.Mem)
@@ -138,11 +146,25 @@ func NewSystem(o Options) *System {
 		mc = memctl.New(o.Mem)
 	}
 	h := cache.New(o.Cache, mc)
-	return &System{MC: mc, Cache: h, CPU: cpu.New(o.CPU, h, mc)}
+	c := cpu.New(o.CPU, h, mc)
+	mc.SetTimeline(tl)
+	c.SetTimeline(tl)
+	reg := obs.NewRegistry()
+	c.Register(reg)
+	h.Register(reg)
+	mc.Register(reg)
+	return &System{MC: mc, Cache: h, CPU: c, reg: reg, tl: tl}
 }
+
+// NewSystem builds a machine from options.
+//
+// Deprecated: use New with functional options (e.g. WithOptions(o)).
+func NewSystem(o Options) *System { return newSystem(o, nil) }
 
 // NewSystemFor builds the machine a variant runs on: the Table 2 baseline,
 // with SP256 hardware for VariantSP.
+//
+// Deprecated: use New(v, options...).
 func NewSystemFor(v Variant, o Options) *System {
 	if v.Speculative() && !o.CPU.SP.Enabled {
 		o = o.WithSP(cpu.DefaultSPConfig().SSBEntries)
@@ -150,8 +172,19 @@ func NewSystemFor(v Variant, o Options) *System {
 	if !v.Speculative() {
 		o.CPU.SP = cpu.SPConfig{}
 	}
-	return NewSystem(o)
+	return newSystem(o, nil)
 }
+
+// Obs returns the system's metric registry. Every component registered its
+// counters at construction; the registry is read-only thereafter.
+func (s *System) Obs() *obs.Registry { return s.reg }
+
+// Metrics snapshots every registered counter under its canonical key
+// (e.g. "cpu.stall.fence_cycles", "cache.l1.misses", "mem.wpq.stalls").
+func (s *System) Metrics() obs.Snapshot { return s.reg.Snapshot() }
+
+// Timeline returns the event recorder attached via WithTimeline, or nil.
+func (s *System) Timeline() *obs.Timeline { return s.tl }
 
 // Run simulates a trace to completion.
 func (s *System) Run(src trace.Source) cpu.Stats { return s.CPU.Run(src) }

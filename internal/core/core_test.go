@@ -5,6 +5,8 @@ import (
 
 	"specpersist/internal/exec"
 	"specpersist/internal/isa"
+	"specpersist/internal/memctl"
+	"specpersist/internal/obs"
 	"specpersist/internal/trace"
 )
 
@@ -115,5 +117,87 @@ func TestWithSPOverridesSize(t *testing.T) {
 	}
 	if o.CPU.SP.Checkpoints != 4 || o.CPU.SP.BloomBytes != 512 {
 		t.Error("WithSP changed unrelated SP parameters")
+	}
+}
+
+func TestNewFunctionalOptions(t *testing.T) {
+	// Knobs compose onto the Table 2 defaults.
+	sys := New(VariantSP, WithSSB(512), WithCheckpoints(8), WithControllers(2), WithBanks(4))
+	cfg := sys.CPU.Config().SP
+	if !cfg.Enabled || cfg.SSBEntries != 512 || cfg.Checkpoints != 8 {
+		t.Fatalf("SP config not applied: %+v", cfg)
+	}
+	// A non-speculative variant never carries SP hardware, even when an
+	// option enabled it.
+	sys = New(VariantLogPSf, WithSSB(512))
+	if sys.CPU.Config().SP.Enabled {
+		t.Fatal("Log+P+Sf system carries SP hardware")
+	}
+	// A speculative variant defaults to the paper's SP256 design point.
+	sys = New(VariantSP)
+	if got := sys.CPU.Config().SP.SSBEntries; got != 256 {
+		t.Fatalf("default SP SSB = %d, want 256", got)
+	}
+	// WithOptions is the bridge from an assembled Options value.
+	o := DefaultOptions()
+	o.Controllers = 4
+	if New(VariantBase, WithOptions(o)).MC.(*memctl.Multi).Controllers() != 4 {
+		t.Fatal("WithOptions lost the controller count")
+	}
+}
+
+func TestNewRejectsInvalidKnobs(t *testing.T) {
+	cases := map[string]func(){
+		"ssb":         func() { WithSSB(0) },
+		"checkpoints": func() { WithCheckpoints(-1) },
+		"banks":       func() { WithBanks(0) },
+		"controllers": func() { WithControllers(-4) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: invalid value did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSystemMetricsAndTimeline(t *testing.T) {
+	tl := obs.NewTimeline(1 << 10)
+	sys := New(VariantSP, WithTimeline(tl))
+	if sys.Timeline() != tl {
+		t.Fatal("Timeline() accessor lost the recorder")
+	}
+	var tb trace.Buffer
+	bld := trace.NewBuilder(&tb)
+	bld.Store(0x2000, 8, isa.NoReg, isa.NoReg)
+	bld.Clwb(0x2000)
+	bld.Sfence()
+	bld.Pcommit()
+	bld.Sfence()
+	for i := 0; i < 50; i++ {
+		bld.ALU(0)
+	}
+	sys.Run(&tb)
+	m := sys.Metrics()
+	if m[obs.KeyCycles] == 0 || m[obs.KeyCommitted] != uint64(tb.Len()) {
+		t.Fatalf("metrics snapshot inconsistent: cycles=%d committed=%d want committed=%d",
+			m[obs.KeyCycles], m[obs.KeyCommitted], tb.Len())
+	}
+	if m["cpu.sp.entries"] == 0 {
+		t.Error("SP system recorded no speculative entries in metrics")
+	}
+	if tl.Len() == 0 {
+		t.Error("timeline recorded no events on a barrier trace")
+	}
+	names := map[string]bool{}
+	for _, e := range tl.Events() {
+		names[e.Name] = true
+	}
+	if !names["sp.epoch"] {
+		t.Errorf("timeline missing sp.epoch span; got %v", names)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"specpersist/internal/isa"
 	"specpersist/internal/mem"
 	"specpersist/internal/memctl"
+	"specpersist/internal/obs"
 	"specpersist/internal/sp"
 	"specpersist/internal/trace"
 )
@@ -194,6 +195,8 @@ type epoch struct {
 	// checkpoints consumed by this epoch (1, or 2 with the collapse
 	// optimization disabled).
 	checkpoints int
+	// openedAt is the cycle the epoch opened (timeline recording).
+	openedAt uint64
 	// fetchPos is the trace position of the instruction following the
 	// checkpointed fence (for rollback).
 	fetchPos uint64
@@ -250,15 +253,25 @@ type CPU struct {
 	// lastStall records why the most recent retirement attempt blocked.
 	lastStall *uint64
 
+	// Observability. tl is nil unless timeline recording was requested;
+	// the remaining fields track open spans (notIssued = no span open)
+	// and the SSB occupancy high-water already reported.
+	tl             *obs.Timeline
+	fenceBlockedAt uint64
+	specSince      uint64
+	ssbHigh        int
+
 	stats Stats
 }
 
 // New builds a core over the given cache hierarchy and memory.
 func New(cfg Config, h *cache.Hierarchy, mc memctl.Memory) *CPU {
 	c := &CPU{cfg: cfg, h: h, mc: mc,
-		pendingReg:   make(map[isa.Reg]uint64),
-		lineVis:      make(map[uint64]uint64),
-		storesByLine: make(map[uint64][]uint64),
+		pendingReg:     make(map[isa.Reg]uint64),
+		lineVis:        make(map[uint64]uint64),
+		storesByLine:   make(map[uint64][]uint64),
+		fenceBlockedAt: notIssued,
+		specSince:      notIssued,
 	}
 	if cfg.SP.Enabled {
 		c.spEnabled = true
@@ -274,6 +287,53 @@ func New(cfg Config, h *cache.Hierarchy, mc memctl.Memory) *CPU {
 
 // Now returns the current cycle.
 func (c *CPU) Now() uint64 { return c.now }
+
+// Config returns the core's configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// SetTimeline attaches an event recorder; nil (the default) disables
+// recording. Recording never changes simulated timing.
+func (c *CPU) SetTimeline(tl *obs.Timeline) { c.tl = tl }
+
+// Register publishes the core's counters into the registry under the
+// "cpu." key space. The SP hardware counters appear only when the core has
+// SP hardware, so a snapshot's key set identifies the machine shape.
+func (c *CPU) Register(r *obs.Registry) {
+	r.RegisterFunc(obs.KeyCycles, func() uint64 { return c.now })
+	r.RegisterFunc(obs.KeyCommitted, func() uint64 { return c.stats.Committed })
+	r.RegisterFunc(obs.KeyStallFetchQ, func() uint64 { return c.stats.FetchQStallCycles })
+	r.RegisterFunc(obs.KeyStallFence, func() uint64 { return c.stats.StallFenceCycles })
+	r.RegisterFunc(obs.KeyStallCheckpoint, func() uint64 { return c.stats.StallCheckpointCycles })
+	r.RegisterFunc(obs.KeyStallSSBFull, func() uint64 { return c.stats.StallSSBFullCycles })
+	r.RegisterFunc(obs.KeyStallStoreBuf, func() uint64 { return c.stats.StallStoreBufCycles })
+	r.RegisterFunc(obs.KeyStallFlushOrder, func() uint64 { return c.stats.StallFlushOrderCycles })
+	r.RegisterFunc(obs.KeyStallNoDelay, func() uint64 { return c.stats.StallNoDelayCycles })
+	r.RegisterFunc(obs.KeyStallHold, func() uint64 { return c.stats.StallHoldCycles })
+	r.RegisterFunc("cpu.op.loads", func() uint64 { return c.stats.Loads })
+	r.RegisterFunc("cpu.op.stores", func() uint64 { return c.stats.Stores })
+	r.RegisterFunc("cpu.op.alus", func() uint64 { return c.stats.ALUs })
+	r.RegisterFunc("cpu.op.clwbs", func() uint64 { return c.stats.Clwbs })
+	r.RegisterFunc("cpu.op.clflushes", func() uint64 { return c.stats.Clflushes })
+	r.RegisterFunc("cpu.op.pcommits", func() uint64 { return c.stats.Pcommits })
+	r.RegisterFunc("cpu.op.sfences", func() uint64 { return c.stats.Sfences })
+	r.RegisterFunc("cpu.pcommit.max_concurrent", func() uint64 { return uint64(c.stats.MaxConcurrentPcommits) })
+	r.RegisterFunc("cpu.pcommit.stores_while_outstanding", func() uint64 { return c.stats.StoresWhilePcommitOutstanding })
+	if !c.spEnabled {
+		return
+	}
+	r.RegisterFunc("cpu.sp.entries", func() uint64 { return c.stats.SpecEntries })
+	r.RegisterFunc("cpu.sp.epochs", func() uint64 { return c.stats.SpecEpochs })
+	r.RegisterFunc("cpu.sp.rollbacks", func() uint64 { return c.stats.Rollbacks })
+	r.RegisterFunc("cpu.sp.delayed_pmem_ops", func() uint64 { return c.stats.DelayedPMEMOps })
+	r.RegisterFunc("cpu.sp.ssb.forwards", func() uint64 { return c.stats.SSBForwards })
+	r.RegisterFunc("cpu.sp.ssb.full_stalls", func() uint64 { return c.stats.SSBFullStalls })
+	r.RegisterFunc("cpu.sp.ssb.max_used", func() uint64 { return uint64(c.ssb.MaxUsed()) })
+	r.RegisterFunc("cpu.sp.ckpt.max_used", func() uint64 { return uint64(c.ckpts.MaxUsed()) })
+	r.RegisterFunc("cpu.sp.ckpt.stalls", func() uint64 { return c.ckpts.Stalls() })
+	r.RegisterFunc("cpu.sp.bloom.queries", func() uint64 { return c.stats.BloomQueries })
+	r.RegisterFunc("cpu.sp.bloom.positives", func() uint64 { return c.stats.BloomPositives })
+	r.RegisterFunc("cpu.sp.bloom.false_positives", func() uint64 { return c.stats.BloomFalsePositives })
+}
 
 // Stats returns the counters accumulated so far, including cache and
 // memory-controller statistics.

@@ -3,6 +3,7 @@ package cpu
 import (
 	"specpersist/internal/isa"
 	"specpersist/internal/mem"
+	"specpersist/internal/obs"
 	"specpersist/internal/trace"
 )
 
@@ -418,6 +419,7 @@ func (c *CPU) retirePcommit() bool {
 		return true
 	}
 	done := c.mc.Pcommit(c.now)
+	c.tl.Span(obs.TrackPMEM, "pcommit", c.now, done)
 	c.outstandingPcommits()
 	c.pcommitDones = append(c.pcommitDones, done)
 	if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
@@ -471,6 +473,7 @@ func (c *CPU) retireFence() bool {
 	flushesDone := c.flushAckMax <= c.now
 	pcommitsDone := c.pcommitMax <= c.now
 	if storesDone && ssbDone && flushesDone && pcommitsDone {
+		c.closeFenceStall()
 		c.stats.Sfences++
 		return true
 	}
@@ -481,12 +484,17 @@ func (c *CPU) retireFence() bool {
 			c.lastStall = &c.stats.StallCheckpointCycles
 			return false
 		}
+		c.closeFenceStall()
+		if c.specSince == notIssued {
+			c.specSince = c.now
+		}
 		c.stats.SpecEntries++
 		c.stats.SpecEpochs++
 		ep := &epoch{
 			id:          c.nextEpoch,
 			waitUntil:   c.pcommitMax,
 			checkpoints: 1,
+			openedAt:    c.now,
 			fetchPos:    c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob)),
 		}
 		c.nextEpoch++
@@ -494,8 +502,20 @@ func (c *CPU) retireFence() bool {
 		c.stats.Sfences++
 		return true
 	}
+	if c.fenceBlockedAt == notIssued {
+		c.fenceBlockedAt = c.now
+	}
 	c.lastStall = &c.stats.StallFenceCycles
 	return false
+}
+
+// closeFenceStall ends an open persist-barrier stall span: the fence that
+// was blocking retirement has retired (or converted into speculation).
+func (c *CPU) closeFenceStall() {
+	if c.fenceBlockedAt != notIssued {
+		c.tl.Span(obs.TrackRetire, "barrier.stall", c.fenceBlockedAt, c.now)
+		c.fenceBlockedAt = notIssued
+	}
 }
 
 // drainStoreBuffer issues one buffered (non-speculative) store per cycle to

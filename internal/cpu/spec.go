@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"specpersist/internal/isa"
+	"specpersist/internal/obs"
 	"specpersist/internal/sp"
 )
 
@@ -33,6 +34,10 @@ func (c *CPU) currentEpochID() int {
 func (c *CPU) pushSSB(e sp.Entry) bool {
 	if !c.ssb.Push(e) {
 		return false
+	}
+	if n := c.ssb.Len(); n > c.ssbHigh {
+		c.ssbHigh = n
+		c.tl.Count(obs.TrackSSB, "ssb.occupancy", c.now, uint64(n))
 	}
 	if len(c.epochs) > 0 && e.Epoch == c.epochs[len(c.epochs)-1].id {
 		c.epochs[len(c.epochs)-1].remaining++
@@ -78,6 +83,7 @@ func (c *CPU) openChildEpoch(withPcommit bool) bool {
 		id:           c.nextEpoch,
 		needsPcommit: withPcommit,
 		checkpoints:  need,
+		openedAt:     c.now,
 		fetchPos:     c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob)),
 	}
 	c.nextEpoch++
@@ -108,6 +114,7 @@ func (c *CPU) commitEngineStep() bool {
 			return false
 		}
 		done := c.mc.Pcommit(c.now)
+		c.tl.Span(obs.TrackPMEM, "pcommit.barrier", c.now, done)
 		c.outstandingPcommits()
 		c.pcommitDones = append(c.pcommitDones, done)
 		if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
@@ -142,6 +149,7 @@ func (c *CPU) commitEngineStep() bool {
 	if head.visibleMax > c.now {
 		return false
 	}
+	c.tl.Span(obs.TrackSpeculation, "sp.epoch", head.openedAt, c.now)
 	for i := 0; i < head.checkpoints; i++ {
 		c.ckpts.Release()
 	}
@@ -174,6 +182,7 @@ func (c *CPU) drainEntry(e sp.Entry, ep *epoch) {
 		}
 	case isa.Pcommit:
 		done := c.mc.Pcommit(c.now)
+		c.tl.Span(obs.TrackPMEM, "pcommit", c.now, done)
 		c.outstandingPcommits()
 		c.pcommitDones = append(c.pcommitDones, done)
 		if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
@@ -203,6 +212,10 @@ func (c *CPU) drainTail() bool {
 // exitSpeculation resets the speculative tracking structures once all
 // buffered state has committed.
 func (c *CPU) exitSpeculation() {
+	if c.specSince != notIssued {
+		c.tl.Span(obs.TrackSpeculation, "sp.speculation", c.specSince, c.now)
+		c.specSince = notIssued
+	}
 	if c.bloom != nil {
 		c.bloom.Reset()
 	}
@@ -230,6 +243,7 @@ func (c *CPU) CoherenceProbe(addr uint64) bool {
 		panic("cpu: rollback requires a seekable trace source")
 	}
 	c.stats.Rollbacks++
+	c.tl.Instant(obs.TrackSpeculation, "sp.rollback", c.now)
 	oldest := c.epochs[0]
 	// Squash the pipeline and all speculative state.
 	for _, ep := range c.epochs {

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"specpersist/internal/mem"
+	"specpersist/internal/obs"
 )
 
 // Config holds the controller and NVMM timing parameters. The defaults
@@ -69,6 +70,7 @@ type Controller struct {
 	writeFree []uint64
 	pending   []wpqEntry
 	stats     Stats
+	tl        *obs.Timeline
 }
 
 // New returns a controller with the given configuration.
@@ -138,6 +140,7 @@ func (c *Controller) EnqueueWrite(addr uint64, now uint64) uint64 {
 		}
 		sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
 		accept = dones[len(dones)-c.cfg.WPQCap]
+		c.tl.Span(obs.TrackMemctl, "wpq.stall", now, accept)
 		c.prune(accept)
 	}
 	b := c.bank(addr)
@@ -147,6 +150,7 @@ func (c *Controller) EnqueueWrite(addr uint64, now uint64) uint64 {
 	c.pending = append(c.pending, wpqEntry{line: line, enq: accept, start: start, done: done})
 	if len(c.pending) > c.stats.WPQMax {
 		c.stats.WPQMax = len(c.pending)
+		c.tl.Count(obs.TrackMemctl, "wpq.occupancy", accept, uint64(len(c.pending)))
 	}
 	if done > c.stats.DrainedMax {
 		c.stats.DrainedMax = done
@@ -182,3 +186,24 @@ func (c *Controller) PendingAt(now uint64) int {
 
 // Stats returns a copy of the event counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// SetTimeline attaches an event recorder (nil disables recording). WPQ
+// stalls appear as spans and occupancy high-waters as counter samples on
+// the memctl track.
+func (c *Controller) SetTimeline(tl *obs.Timeline) { c.tl = tl }
+
+// Register publishes the controller's counters into the registry under the
+// "mem." key space.
+func (c *Controller) Register(r *obs.Registry) {
+	registerMemory(r, c.Stats)
+}
+
+// registerMemory publishes one Memory implementation's aggregate counters.
+func registerMemory(r *obs.Registry, stats func() Stats) {
+	r.RegisterFunc("mem.reads", func() uint64 { return stats().Reads })
+	r.RegisterFunc("mem.writes", func() uint64 { return stats().Writes })
+	r.RegisterFunc("mem.coalesced", func() uint64 { return stats().Coalesced })
+	r.RegisterFunc("mem.pcommits", func() uint64 { return stats().Pcommits })
+	r.RegisterFunc("mem.wpq.max", func() uint64 { return uint64(stats().WPQMax) })
+	r.RegisterFunc("mem.wpq.stalls", func() uint64 { return stats().WPQStalls })
+}

@@ -1,6 +1,9 @@
 package memctl
 
-import "specpersist/internal/mem"
+import (
+	"specpersist/internal/mem"
+	"specpersist/internal/obs"
+)
 
 // Memory is the controller interface the cache hierarchy and core drive.
 // Both a single Controller and a Multi (several controllers with
@@ -16,6 +19,11 @@ type Memory interface {
 	Pcommit(now uint64) uint64
 	// Stats returns aggregated controller counters.
 	Stats() Stats
+	// Register publishes the aggregate counters into an obs registry.
+	Register(r *obs.Registry)
+	// SetTimeline attaches an event recorder to every controller (nil
+	// disables recording).
+	SetTimeline(tl *obs.Timeline)
 }
 
 var (
@@ -92,4 +100,17 @@ func (m *Multi) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// Register publishes the aggregated counters into the registry under the
+// "mem." key space.
+func (m *Multi) Register(r *obs.Registry) {
+	registerMemory(r, m.Stats)
+}
+
+// SetTimeline attaches an event recorder to every controller.
+func (m *Multi) SetTimeline(tl *obs.Timeline) {
+	for _, c := range m.ctrls {
+		c.SetTimeline(tl)
+	}
 }

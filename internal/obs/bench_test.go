@@ -1,0 +1,38 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledRecording measures the cost the hot simulation loops pay
+// when tracing is off: a method call on a nil *Timeline. This is the
+// overhead budget the <2% guard in internal/cpu's benchmarks rests on.
+func BenchmarkDisabledRecording(b *testing.B) {
+	var tl *Timeline
+	for i := 0; i < b.N; i++ {
+		tl.Span(TrackRetire, "barrier.stall", uint64(i), uint64(i)+3)
+	}
+}
+
+// BenchmarkEnabledRecording measures steady-state ring-buffer recording.
+func BenchmarkEnabledRecording(b *testing.B) {
+	tl := NewTimeline(1 << 12)
+	for i := 0; i < b.N; i++ {
+		tl.Span(TrackRetire, "barrier.stall", uint64(i), uint64(i)+3)
+	}
+}
+
+// BenchmarkSnapshot measures a registry snapshot at a realistic metric
+// count (~50 keys, the full-system registry size).
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	var v uint64
+	for i := 0; i < 50; i++ {
+		r.RegisterFunc(string(rune('a'+i%26))+string(rune('a'+i/26)), func() uint64 { return v })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = uint64(i)
+		if len(r.Snapshot()) != 50 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

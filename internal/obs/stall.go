@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonical metric keys shared across components. The stall keys are the
+// cpu package's retirement-stall attribution counters; StallReport folds
+// them into the "where did the cycles go" table, so their names live here
+// rather than in the component that increments them.
+const (
+	KeyCycles    = "cpu.cycles"
+	KeyCommitted = "cpu.committed"
+
+	KeyStallFence      = "cpu.stall.fence_cycles"
+	KeyStallFetchQ     = "cpu.stall.fetchq_cycles"
+	KeyStallCheckpoint = "cpu.stall.checkpoint_cycles"
+	KeyStallSSBFull    = "cpu.stall.ssb_full_cycles"
+	KeyStallStoreBuf   = "cpu.stall.storebuf_cycles"
+	KeyStallFlushOrder = "cpu.stall.flush_order_cycles"
+	KeyStallNoDelay    = "cpu.stall.nodelay_cycles"
+	KeyStallHold       = "cpu.stall.hold_cycles"
+)
+
+// StallLine is one row of the attribution table.
+type StallLine struct {
+	Cause  string  `json:"cause"`
+	Cycles uint64  `json:"cycles"`
+	Frac   float64 `json:"frac"` // fraction of total cycles
+}
+
+// stallCauses maps the attribution rows to their metric keys, in the order
+// the report presents them: the paper's headline cause (persist-barrier
+// fences) first, then the SP-specific residuals, then the generic backend
+// stalls.
+var stallCauses = []struct{ cause, key string }{
+	{"fence (persist barrier)", KeyStallFence},
+	{"checkpoint exhausted", KeyStallCheckpoint},
+	{"SSB full", KeyStallSSBFull},
+	{"PMEM op not delayable", KeyStallNoDelay},
+	{"post-rollback hold", KeyStallHold},
+	{"store buffer full", KeyStallStoreBuf},
+	{"flush ordered after store", KeyStallFlushOrder},
+}
+
+// StallReport folds a snapshot's retirement-stall counters into the
+// attribution table: every cause with its cycle count and fraction of total
+// execution, plus a final "front-end / execution" remainder row so the rows
+// sum to the run's cycles. Causes with zero cycles are elided.
+func StallReport(s Snapshot) []StallLine {
+	total := s[KeyCycles]
+	if total == 0 {
+		return nil
+	}
+	var lines []StallLine
+	var attributed uint64
+	add := func(cause string, cycles uint64) {
+		if cycles == 0 {
+			return
+		}
+		lines = append(lines, StallLine{Cause: cause, Cycles: cycles, Frac: float64(cycles) / float64(total)})
+	}
+	for _, c := range stallCauses {
+		add(c.cause, s[c.key])
+		attributed += s[c.key]
+	}
+	if attributed < total {
+		add("front-end / execution", total-attributed)
+	}
+	return lines
+}
+
+// FormatStallReport renders the attribution table as aligned text for CLI
+// output.
+func FormatStallReport(s Snapshot) string {
+	lines := StallReport(s)
+	if len(lines) == 0 {
+		return "no cycles recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %7s\n", "where the cycles went", "cycles", "share")
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%-28s %14d %6.1f%%\n", l.Cause, l.Cycles, 100*l.Frac)
+	}
+	fmt.Fprintf(&b, "%-28s %14d %6.1f%%\n", "total", s[KeyCycles], 100.0)
+	return b.String()
+}

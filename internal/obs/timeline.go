@@ -1,0 +1,135 @@
+package obs
+
+// Timeline records cycle-resolved simulation events into a bounded ring
+// buffer: speculation and epoch lifetimes, persist-barrier stalls, pcommit
+// drains, occupancy high-waters. It exists to make a barrier's shadow
+// literally visible — export with WriteTrace and load the JSON in
+// chrome://tracing or Perfetto.
+//
+// All recording methods are nil-safe no-ops on a nil *Timeline, so the
+// simulator's hot loops carry instrumentation unconditionally and pay only
+// a nil check when tracing is off. When the ring fills, the oldest events
+// are overwritten and Dropped counts the loss; recording never affects
+// simulated timing.
+
+// EventKind distinguishes how an event renders on the trace.
+type EventKind uint8
+
+const (
+	// KindSpan is a named duration [Start, End] on a track.
+	KindSpan EventKind = iota
+	// KindInstant is a point event at Start.
+	KindInstant
+	// KindCount is a counter sample (Value at cycle Start), rendered as a
+	// counter track.
+	KindCount
+)
+
+// Event is one recorded timeline entry. Cycles are simulation time.
+type Event struct {
+	Kind  EventKind
+	Track string // logical track (trace thread): "retire", "speculation", ...
+	Name  string
+	Start uint64 // cycle
+	End   uint64 // cycle (spans only; >= Start)
+	Value uint64 // counter sample (KindCount only)
+}
+
+// DefaultTimelineCap bounds the ring buffer when NewTimeline is given a
+// non-positive capacity: 64Ki events is hours of barrier-level activity at
+// harness scales yet only a few MiB.
+const DefaultTimelineCap = 1 << 16
+
+// Timeline is the recorder. Create with NewTimeline; a nil *Timeline is the
+// disabled recorder.
+type Timeline struct {
+	cap     int
+	events  []Event
+	next    int // ring write position once len(events) == cap
+	wrapped bool
+	dropped uint64
+}
+
+// NewTimeline returns a recorder holding at most capacity events
+// (DefaultTimelineCap if capacity <= 0).
+func NewTimeline(capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCap
+	}
+	return &Timeline{cap: capacity}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Timeline) Enabled() bool { return t != nil }
+
+func (t *Timeline) record(e Event) {
+	if t == nil {
+		return
+	}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.next] = e
+	t.next = (t.next + 1) % t.cap
+	t.wrapped = true
+	t.dropped++
+}
+
+// Span records a named duration [start, end] on a track.
+func (t *Timeline) Span(track, name string, start, end uint64) {
+	if end < start {
+		end = start
+	}
+	t.record(Event{Kind: KindSpan, Track: track, Name: name, Start: start, End: end})
+}
+
+// Instant records a point event.
+func (t *Timeline) Instant(track, name string, at uint64) {
+	t.record(Event{Kind: KindInstant, Track: track, Name: name, Start: at, End: at})
+}
+
+// Count records a counter sample (e.g. an occupancy high-water).
+func (t *Timeline) Count(track, name string, at, value uint64) {
+	t.record(Event{Kind: KindCount, Track: track, Name: name, Start: at, End: at, Value: value})
+}
+
+// Len returns the number of retained events.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (t *Timeline) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the retained events in recording order (oldest first).
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.events))
+	if t.wrapped {
+		out = append(out, t.events[t.next:]...)
+		out = append(out, t.events[:t.next]...)
+		return out
+	}
+	return append(out, t.events...)
+}
+
+// Standard track names. Keeping them centralized keeps trace output stable
+// across components.
+const (
+	TrackRetire      = "retire"      // ROB-head stalls (persist barriers)
+	TrackSpeculation = "speculation" // SP entry/epoch lifetimes, rollbacks
+	TrackPMEM        = "pmem"        // pcommit drains
+	TrackMemctl      = "memctl"      // WPQ stalls and occupancy
+	TrackSSB         = "ssb"         // speculative store buffer occupancy
+)

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace_event entry. Field order matters only for
+// readability; determinism comes from encoding/json's fixed struct-field
+// order and sorted map keys.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  *uint64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+// WriteTrace serializes the timeline as Chrome trace_event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. One simulated cycle is
+// rendered as one microsecond of trace time. Tracks become named threads
+// (tids assigned in sorted track order), spans become complete ("X")
+// events, instants "i" events, and counter samples "C" events.
+func (t *Timeline) WriteTrace(w io.Writer) error {
+	events := t.Events()
+
+	// Deterministic tid assignment: sorted track names, tid 1..n.
+	trackSet := map[string]bool{}
+	for _, e := range events {
+		trackSet[e.Track] = true
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for tr := range trackSet {
+		tracks = append(tracks, tr)
+	}
+	sort.Strings(tracks)
+	tids := make(map[string]int, len(tracks))
+	for i, tr := range tracks {
+		tids[tr] = i + 1
+	}
+
+	// Data events in cycle order (stable, so same-cycle events keep their
+	// recording order).
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
+
+	out := make([]traceEvent, 0, len(events)+len(tracks)+1)
+	for _, e := range events {
+		te := traceEvent{
+			Name: e.Name,
+			Cat:  e.Track,
+			Ts:   e.Start,
+			Pid:  1,
+			Tid:  tids[e.Track],
+		}
+		switch e.Kind {
+		case KindSpan:
+			dur := e.End - e.Start
+			te.Ph = "X"
+			te.Dur = &dur
+		case KindInstant:
+			te.Ph = "i"
+			te.S = "t"
+		case KindCount:
+			te.Ph = "C"
+			te.Args = map[string]uint64{"value": e.Value}
+		}
+		out = append(out, te)
+	}
+
+	// Process/thread naming metadata needs string args; marshal those
+	// records by hand so the numeric-args struct stays simple.
+	var buf []byte
+	buf = append(buf, `{"displayTimeUnit":"ms","otherData":{"tool":"specpersist","unit":"1 cycle = 1us"`...)
+	buf = append(buf, fmt.Sprintf(`,"events":%d,"dropped":%d},"traceEvents":[`, len(out), t.Dropped())...)
+	buf = append(buf, `{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"specpersist"}}`...)
+	for _, tr := range tracks {
+		name, _ := json.Marshal(tr)
+		buf = append(buf, fmt.Sprintf(`,{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`, tids[tr], name)...)
+	}
+	for _, te := range out {
+		b, err := json.Marshal(te)
+		if err != nil {
+			return fmt.Errorf("obs: marshal trace event: %w", err)
+		}
+		buf = append(buf, ',')
+		buf = append(buf, b...)
+	}
+	buf = append(buf, "]}\n"...)
+	_, err := w.Write(buf)
+	return err
+}

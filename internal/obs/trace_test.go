@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteTraceValidJSON checks the exported document parses and carries
+// the expected event phases and deterministic thread naming.
+func TestWriteTraceValidJSON(t *testing.T) {
+	tl := NewTimeline(16)
+	tl.Span(TrackRetire, "barrier.stall", 100, 400)
+	tl.Span(TrackSpeculation, "sp.epoch", 100, 900)
+	tl.Instant(TrackSpeculation, "sp.rollback", 500)
+	tl.Count(TrackSSB, "ssb.occupancy", 120, 17)
+
+	var b strings.Builder
+	if err := tl.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   struct {
+			Events  int    `json:"events"`
+			Dropped uint64 `json:"dropped"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, b.String())
+	}
+	if doc.OtherData.Events != 4 || doc.OtherData.Dropped != 0 {
+		t.Fatalf("otherData = %+v", doc.OtherData)
+	}
+
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		phases[e["ph"].(string)]++
+		names[e["name"].(string)] = true
+	}
+	// 1 process_name + 3 thread_name metadata, 2 spans, 1 instant, 1 counter.
+	if phases["M"] != 4 || phases["X"] != 2 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Fatalf("phases = %v", phases)
+	}
+	for _, want := range []string{"barrier.stall", "sp.epoch", "sp.rollback", "ssb.occupancy"} {
+		if !names[want] {
+			t.Fatalf("missing event %q in %v", want, names)
+		}
+	}
+
+	// Determinism: a second export is byte-identical.
+	var b2 strings.Builder
+	if err := tl.WriteTrace(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("WriteTrace is not deterministic")
+	}
+}
+
+// TestWriteTraceSpanFields checks the span duration math survives export.
+func TestWriteTraceSpanFields(t *testing.T) {
+	tl := NewTimeline(4)
+	tl.Span(TrackPMEM, "pcommit", 250, 600)
+	var b strings.Builder
+	if err := tl.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"ts":250`) || !strings.Contains(b.String(), `"dur":350`) {
+		t.Fatalf("span fields missing:\n%s", b.String())
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"specpersist/internal/mem"
+	"specpersist/internal/obs"
 )
 
 // LineState describes the persistence status of one cache line.
@@ -241,3 +242,17 @@ func (m *Model) Stats() Stats { return m.stats }
 
 // ResetStats clears the event counters.
 func (m *Model) ResetStats() { m.stats = Stats{} }
+
+// Register publishes the functional-persistence counters into the registry
+// under the "pmem." key space.
+func (m *Model) Register(r *obs.Registry) {
+	r.RegisterFunc("pmem.stores", func() uint64 { return m.stats.Stores })
+	r.RegisterFunc("pmem.loads", func() uint64 { return m.stats.Loads })
+	r.RegisterFunc("pmem.clwbs", func() uint64 { return m.stats.Clwbs })
+	r.RegisterFunc("pmem.flushed", func() uint64 { return m.stats.Flushed })
+	r.RegisterFunc("pmem.pcommits", func() uint64 { return m.stats.Pcommits })
+	r.RegisterFunc("pmem.sfences", func() uint64 { return m.stats.Sfences })
+	r.RegisterFunc("pmem.persisted", func() uint64 { return m.stats.Persisted })
+	r.RegisterFunc("pmem.crashes", func() uint64 { return m.stats.Crashes })
+	r.RegisterFunc("pmem.recoveries", func() uint64 { return m.stats.Recoveries })
+}

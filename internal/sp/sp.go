@@ -22,9 +22,14 @@ var ssbLatencies = map[int]uint64{
 func SSBSizes() []int { return []int{32, 64, 128, 256, 512, 1024} }
 
 // SSBLatency returns the access latency for an SSB with the given number
-// of entries (Table 3). Sizes outside the table round up to the next
-// configured size.
+// of entries (Table 3). Positive sizes between table rows round up to the
+// next configured size; non-positive sizes are a configuration error and
+// panic (they used to silently round "up" to the smallest table latency,
+// hiding a zero-entry SSB behind a plausible 2-cycle access time).
 func SSBLatency(entries int) uint64 {
+	if entries <= 0 {
+		panic(fmt.Sprintf("sp: SSB entry count must be positive, got %d", entries))
+	}
 	if lat, ok := ssbLatencies[entries]; ok {
 		return lat
 	}

@@ -24,6 +24,19 @@ func TestSSBLatencyTable(t *testing.T) {
 	}
 }
 
+func TestSSBLatencyRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -256} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SSBLatency(%d) did not panic", n)
+				}
+			}()
+			SSBLatency(n)
+		}()
+	}
+}
+
 func TestSSBFIFOOrder(t *testing.T) {
 	s := NewSSB(4)
 	for i := 0; i < 4; i++ {

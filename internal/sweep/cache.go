@@ -14,8 +14,12 @@ import (
 
 // schemaVersion is folded into every cache key. Bump it whenever the
 // simulator's timing model changes in a way the job fingerprint cannot
-// see, so stale results from an older model can never be served.
-const schemaVersion = 1
+// see — or the Result schema itself grows — so stale results from an
+// older model can never be served.
+//
+// v2: Result gained the unified Metrics snapshot (internal/obs); v1
+// entries lack it and must not satisfy v2 lookups.
+const schemaVersion = 2
 
 // DefaultCacheDir is where sweeps cache results unless told otherwise.
 const DefaultCacheDir = ".sweepcache"

@@ -23,6 +23,7 @@ import (
 	"specpersist/internal/exec"
 	"specpersist/internal/isa"
 	"specpersist/internal/mem"
+	"specpersist/internal/obs"
 )
 
 // Stats aggregates transaction activity; the log-footprint experiment uses
@@ -49,6 +50,15 @@ type Manager struct {
 
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// Register publishes the transaction counters into the registry under the
+// "txn." key space.
+func (m *Manager) Register(r *obs.Registry) {
+	r.RegisterFunc("txn.txns", func() uint64 { return m.stats.Txns })
+	r.RegisterFunc("txn.entries", func() uint64 { return m.stats.Entries })
+	r.RegisterFunc("txn.max_entries", func() uint64 { return uint64(m.stats.MaxEntries) })
+	r.RegisterFunc("txn.recoveries", func() uint64 { return m.stats.Recoveries })
+}
 
 // NewManager allocates a log region with room for capacity line entries.
 func NewManager(env *exec.Env, capacity int) *Manager {

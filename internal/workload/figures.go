@@ -5,6 +5,7 @@ import (
 
 	"specpersist/internal/core"
 	"specpersist/internal/cpu"
+	"specpersist/internal/obs"
 	"specpersist/internal/report"
 	"specpersist/internal/sp"
 )
@@ -285,7 +286,8 @@ func (s *Suite) Fig13() *report.Table {
 
 // StallBreakdown decomposes retirement stalls by cause for Log+P+Sf and
 // SP256 — an extension of the Figure 10 analysis showing where the fence
-// cost goes and what residual stalls SP leaves.
+// cost goes and what residual stalls SP leaves. It reads the unified
+// metrics snapshot, so its columns are the canonical obs stall keys.
 func (s *Suite) StallBreakdown() *report.Table {
 	s.prime(s.grid(core.VariantBase, core.VariantLogPSf, core.VariantSP))
 	t := &report.Table{
@@ -293,17 +295,33 @@ func (s *Suite) StallBreakdown() *report.Table {
 		Columns: []string{"Bench", "Variant", "fence", "checkpoint", "ssb-full",
 			"storebuf", "flush-order"},
 	}
+	keys := []string{obs.KeyStallFence, obs.KeyStallCheckpoint, obs.KeyStallSSBFull,
+		obs.KeyStallStoreBuf, obs.KeyStallFlushOrder}
 	for _, b := range Table1() {
-		base := float64(s.Get(b, core.VariantBase).Stats.Cycles)
+		base := float64(s.Get(b, core.VariantBase).Metrics[obs.KeyCycles])
 		for _, v := range []core.Variant{core.VariantLogPSf, core.VariantSP} {
-			st := s.Get(b, v).Stats
-			t.AddRow(b.Name, v.String(),
-				report.Ratio(float64(st.StallFenceCycles)/base),
-				report.Ratio(float64(st.StallCheckpointCycles)/base),
-				report.Ratio(float64(st.StallSSBFullCycles)/base),
-				report.Ratio(float64(st.StallStoreBufCycles)/base),
-				report.Ratio(float64(st.StallFlushOrderCycles)/base))
+			m := s.Get(b, v).Metrics
+			row := []string{b.Name, v.String()}
+			for _, k := range keys {
+				row = append(row, report.Ratio(float64(m[k])/base))
+			}
+			t.AddRow(row...)
 		}
+	}
+	return t
+}
+
+// StallAttribution renders the "where did the cycles go" report for one
+// benchmark under one variant: every stall cause as a fraction of that
+// run's own cycles (obs.StallReport semantics).
+func (s *Suite) StallAttribution(b Bench, v core.Variant) *report.Table {
+	r := s.Get(b, v)
+	t := &report.Table{
+		Title:   fmt.Sprintf("Stall attribution: %s under %s", b.Name, v),
+		Columns: []string{"Cause", "Cycles", "Fraction"},
+	}
+	for _, line := range obs.StallReport(r.Metrics) {
+		t.AddRow(line.Cause, fmt.Sprint(line.Cycles), fmt.Sprintf("%.1f%%", line.Frac*100))
 	}
 	return t
 }

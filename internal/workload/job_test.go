@@ -1,12 +1,15 @@
 package workload
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
 
 	"specpersist/internal/core"
 	"specpersist/internal/cpu"
+	"specpersist/internal/obs"
 )
 
 // tinyJob is a fast job for engine-level tests.
@@ -157,5 +160,47 @@ func TestSerialRunner(t *testing.T) {
 		if !reflect.DeepEqual(rs[i], want) {
 			t.Errorf("job %d result differs from direct run", i)
 		}
+	}
+}
+
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	// The unified snapshot must be byte-deterministic: same job, same
+	// serialized metrics (the sweep cache and -j byte-identity depend on
+	// it). encoding/json sorts map keys, so equal maps imply equal bytes.
+	j := tinyJob(core.VariantSP)
+	r1, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Metrics, r2.Metrics) {
+		t.Fatalf("metrics differ across identical runs:\n%v\n%v", r1.Metrics, r2.Metrics)
+	}
+	b1, err := json.Marshal(r1.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(r2.Metrics)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("serialized metrics differ:\n%s\n%s", b1, b2)
+	}
+	// Every layer contributes to the one snapshot.
+	for _, prefix := range []string{"cpu.", "cache.", "mem.", "pmem.", "txn."} {
+		found := false
+		for k := range r1.Metrics {
+			if strings.HasPrefix(k, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("snapshot has no %q keys", prefix)
+		}
+	}
+	if r1.Metrics[obs.KeyCycles] != r1.Stats.Cycles {
+		t.Errorf("snapshot cycles %d != Stats cycles %d", r1.Metrics[obs.KeyCycles], r1.Stats.Cycles)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"specpersist/internal/cpu"
 	"specpersist/internal/exec"
 	"specpersist/internal/isa"
+	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
 	"specpersist/internal/trace"
 	"specpersist/internal/txn"
@@ -84,6 +85,11 @@ type RunConfig struct {
 	// data-structure update that compiled code performs (key generation,
 	// allocation, call overhead). Negative disables; 0 means the default.
 	OpOverhead int
+	// Timeline, when non-nil, records cycle-resolved events for the run
+	// (spsim -timeline). It never changes simulated timing or the Result,
+	// so it is deliberately excluded from the job fingerprint — but note
+	// that a cached sweep result therefore arrives with an empty timeline.
+	Timeline *obs.Timeline
 }
 
 // DefaultOpOverhead approximates the serial application work per operation
@@ -133,6 +139,12 @@ type Result struct {
 	SimOps  int
 	Stats   cpu.Stats
 	Txn     txn.Stats // zero for the Base variant
+	// Metrics is the unified counter snapshot of the whole run — every
+	// component's counters under canonical dotted keys ("cpu.*", "cache.*",
+	// "mem.*", "pmem.*", "txn.*"). Keys are stable across runs of the same
+	// configuration, and JSON-marshal in sorted order, so serialized
+	// results are byte-deterministic.
+	Metrics obs.Snapshot `json:",omitempty"`
 }
 
 // structConfig sizes the structure-specific parameters for a scale.
@@ -254,6 +266,8 @@ func Run(b Bench, rc RunConfig) (Result, error) {
 		opts = *rc.Options
 	}
 	if rc.Variant.Speculative() {
+		// The knobs resolve against the paper's SP design point, replacing
+		// any SP config the Options carried (SPOverride wins outright).
 		ssb := cpu.DefaultSPConfig().SSBEntries
 		if rc.SSBEntries > 0 {
 			ssb = rc.SSBEntries
@@ -266,13 +280,23 @@ func Run(b Bench, rc RunConfig) (Result, error) {
 			opts.CPU.SP = *rc.SPOverride
 		}
 	}
-	sys := core.NewSystemFor(rc.Variant, opts)
+	copts := []core.Option{core.WithOptions(opts)}
+	if rc.Timeline != nil {
+		copts = append(copts, core.WithTimeline(rc.Timeline))
+	}
+	sys := core.New(rc.Variant, copts...)
+	// Fold the functional layers into the system registry so one snapshot
+	// covers the whole run.
+	env.M.Register(sys.Obs())
+	if mgr != nil {
+		mgr.Register(sys.Obs())
+	}
 	stats := sys.Run(src)
 
 	if err := st.Check(); err != nil {
 		return Result{}, fmt.Errorf("workload %s: after sim: %w", b.Name, err)
 	}
-	res := Result{Bench: b.Name, Variant: rc.Variant, SimOps: simOps, Stats: stats}
+	res := Result{Bench: b.Name, Variant: rc.Variant, SimOps: simOps, Stats: stats, Metrics: sys.Metrics()}
 	if mgr != nil {
 		res.Txn = mgr.Stats()
 	}
