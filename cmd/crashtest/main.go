@@ -1,196 +1,246 @@
-// Command crashtest is a randomized crash-injection recovery checker: it
-// runs transactional operations on every benchmark structure, crashes at
-// random persistence events (with random spontaneous cache evictions and
-// WPQ drains), runs write-ahead-log recovery, and verifies that every
-// structure invariant holds and that the surviving state is exactly the
-// pre-operation or post-operation state (atomicity).
+// Command crashtest drives the internal/fault crash-consistency engine: it
+// crashes transactional operations on the benchmark structures at injected
+// persistence events (exhaustively or randomized), optionally tears cache
+// lines at 8-byte granularity and re-crashes inside recovery, verifies
+// write-ahead-log recovery restores an atomic state, and delta-minimizes any
+// failing trial into a JSON reproducer.
 //
 // Usage:
 //
-//	crashtest -trials 500 -seed 42
-//	crashtest -variant Log+P    # demonstrate that unfenced code corrupts
+//	crashtest -exhaustive -torn -recrash            # full safety campaign
+//	crashtest -variant Log+P -expect-violations     # negative control
+//	crashtest -exhaustive -json > report.json       # machine-readable report
+//	crashtest -replay plan.json                     # replay one reproducer
+//	crashtest -spdiff                               # SP rollback differential
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
+	"os"
+	"strings"
 
 	"specpersist/internal/core"
-	"specpersist/internal/exec"
-	"specpersist/internal/pmem"
+	"specpersist/internal/fault"
+	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
-	"specpersist/internal/txn"
 )
 
-type crashSignal struct{}
+// aliases maps user-friendly structure names onto pstruct.Names() entries.
+var aliases = map[string]string{
+	"list": "LL", "ll": "LL",
+	"hm": "HM", "hash": "HM", "hashmap": "HM",
+	"gh": "GH", "graph": "GH",
+	"ss": "SS", "strings": "SS",
+	"at": "AT", "avl": "AT",
+	"bt": "BT", "btree": "BT",
+	"rt": "RT", "rbtree": "RT",
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crashtest: ")
 	var (
-		trials  = flag.Int("trials", 200, "crash trials per structure")
-		seed    = flag.Int64("seed", 1, "random seed")
-		variant = flag.String("variant", "Log+P+Sf", "software variant (Log, Log+P, Log+P+Sf)")
+		structuresF = flag.String("structures", "", "comma-separated structures (default: all); aliases like list,hash,avl work")
+		variantF    = flag.String("variant", "Log+P+Sf", "software variant (Log, Log+P, Log+P+Sf)")
+		seed        = flag.Int64("seed", 1, "campaign seed")
+		warmup      = flag.Int("warmup", 60, "warmup operations before the probed ops")
+		ops         = flag.Int("ops", 3, "operations probed per structure")
+		exhaustive  = flag.Bool("exhaustive", false, "enumerate every crash point (counting pass first)")
+		trials      = flag.Int("trials", 200, "randomized-mode trials per structure")
+		torn        = flag.Bool("torn", false, "tear lines at 8-byte chunks in sampled trials")
+		recrash     = flag.Bool("recrash", false, "re-crash at every persistence event inside recovery")
+		samples     = flag.Int("samples", 1, "randomized fate sets per crash point besides the strict crash")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+		maxViol     = flag.Int("max-violations", 3, "violation details kept per structure")
+		jsonOut     = flag.Bool("json", false, "emit the machine-readable report as JSON on stdout")
+		replayFile  = flag.String("replay", "", "replay one plan from a JSON reproducer file and exit")
+		spdiff      = flag.Bool("spdiff", false, "run the SP rollback differential instead of a crash campaign")
+		expectViol  = flag.Bool("expect-violations", false, "negative control: exit nonzero unless violations are found")
 	)
 	flag.Parse()
 
-	v, err := core.ParseVariant(*variant)
+	if *replayFile != "" {
+		replay(*replayFile, *jsonOut)
+		return
+	}
+
+	structures, err := parseStructures(*structuresF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *spdiff {
+		runSPDiff(structures, *seed, *warmup, *ops)
+		return
+	}
+
+	v, err := core.ParseVariant(*variantF)
 	if err != nil || !v.Transactional() {
 		log.Fatalf("variant must be Log, Log+P or Log+P+Sf")
 	}
 
-	cfg := pstruct.Config{HashCapacity: 64, GraphVerts: 32, Strings: 16}
-	failures := 0
-	for _, name := range pstruct.Names() {
-		fail := runStructure(name, v, cfg, *trials, *seed)
+	eng := &fault.Engine{
+		Workers:       *workers,
+		Samples:       *samples,
+		Torn:          *torn,
+		Recrash:       *recrash,
+		Shrink:        true,
+		MaxViolations: *maxViol,
+	}
+	reg := obs.NewRegistry()
+	eng.Register(reg)
+
+	rep, err := eng.Run(fault.Campaign{
+		Structures: structures,
+		Variant:    v,
+		Seed:       *seed,
+		Warmup:     *warmup,
+		Ops:        *ops,
+		Exhaustive: *exhaustive,
+		Trials:     *trials,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		printReport(rep)
+	}
+
+	switch {
+	case *expectViol && rep.Violations == 0:
+		log.Fatalf("FAIL: expected violations under %s but found none (the checker may be blind)", v)
+	case !*expectViol && rep.Violations > 0 && v == core.VariantLogPSf:
+		log.Fatalf("FAIL: %d violations under the fully fenced variant", rep.Violations)
+	}
+}
+
+func parseStructures(csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil // engine defaults to pstruct.Names()
+	}
+	known := make(map[string]bool)
+	for _, n := range pstruct.Names() {
+		known[n] = true
+	}
+	var out []string
+	for _, tok := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(tok)
+		if name == "" {
+			continue
+		}
+		if canon, ok := aliases[strings.ToLower(name)]; ok {
+			name = canon
+		} else {
+			name = strings.ToUpper(name)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown structure %q (have %s)", tok, strings.Join(pstruct.Names(), ","))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+func replay(path string, jsonOut bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var p fault.Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		log.Fatalf("parsing %s: %v", path, err)
+	}
+	out, err := fault.Run(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("%s %s op=%d crash=%d: crashed=%v events=%d recovery_events=%d torn=%d\n",
+			p.Structure, p.Variant, p.Op, p.CrashIndex,
+			out.Crashed, out.Events, out.RecoveryEvents, out.TornLines)
+		if out.Failed() {
+			fmt.Printf("VIOLATION: %s\n", out.Violation)
+		} else {
+			fmt.Println("recovered atomically")
+		}
+	}
+	if out.Failed() {
+		os.Exit(1)
+	}
+}
+
+func runSPDiff(structures []string, seed int64, warmup, ops int) {
+	if len(structures) == 0 {
+		structures = pstruct.Names()
+	}
+	failed := 0
+	for _, s := range structures {
+		if err := fault.SPDifferential(s, seed, warmup, ops); err != nil {
+			fmt.Printf("%-3s SP differential: FAIL: %v\n", s, err)
+			failed++
+		} else {
+			fmt.Printf("%-3s SP differential: OK (rollback stream matches non-speculative machine)\n", s)
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("FAIL: %d structures diverged after speculative rollback", failed)
+	}
+}
+
+func printReport(rep fault.Report) {
+	mode := "randomized"
+	if rep.Exhaustive {
+		mode = "exhaustive"
+	}
+	for _, sr := range rep.Structures {
 		status := "OK"
-		if fail > 0 {
-			status = fmt.Sprintf("%d ATOMICITY VIOLATIONS", fail)
+		if sr.Violations > 0 {
+			status = fmt.Sprintf("%d ATOMICITY VIOLATIONS", sr.Violations)
 		}
-		fmt.Printf("%-3s %-9s %4d crash trials: %s\n", name, v, *trials, status)
-		failures += fail
-	}
-	if failures > 0 {
-		if v == core.VariantLogPSf {
-			log.Fatalf("FAIL: %d violations under the fully fenced variant", failures)
+		extra := ""
+		if sr.RecrashTrials > 0 {
+			extra = fmt.Sprintf(" (+%d re-crash)", sr.RecrashTrials)
 		}
-		fmt.Printf("\n%d violations: the %s variant is not failure-safe (this is the paper's point —\n"+
-			"only Log+P+Sf orders persists correctly).\n", failures, v)
-		return
-	}
-	fmt.Println("\nall structures recovered atomically from every injected crash")
-}
-
-func runStructure(name string, v core.Variant, cfg pstruct.Config, trials int, seed int64) (violations int) {
-	const keyspace = 48
-	rng := rand.New(rand.NewSource(seed))
-	crashRng := rand.New(rand.NewSource(seed + 1))
-
-	var (
-		env *exec.Env
-		mgr *txn.Manager
-		s   pstruct.Structure
-	)
-	// build constructs (or, after a detected corruption, reconstructs) a
-	// fresh, durable store: a corrupted structure cannot be operated on
-	// safely — a cyclic list would hang the next search.
-	build := func() {
-		env = exec.New()
-		env.Level = v.Level()
-		if v.Level() == exec.LevelLogP {
-			env.Reorder = rand.New(rand.NewSource(seed + 99))
-		}
-		mgr = txn.NewManager(env, 2048)
-		s = pstruct.Build(name, env, mgr, cfg)
-		for i := 0; i < 100; i++ {
-			s.Apply(uint64(rng.Intn(keyspace)))
-		}
-		env.M.PersistAll()
-	}
-	build()
-
-	for trial := 0; trial < trials; trial++ {
-		key := uint64(rng.Intn(keyspace))
-		pre := snapshot(s, name, cfg, keyspace)
-		crashed := applyWithCrash(env, s, key, 1+crashRng.Intn(200))
-		if !crashed {
-			continue
-		}
-		env.Crash(pmem.CrashOptions{EvictFrac: 0.3, DrainFrac: 0.5, Rand: crashRng})
-		mgr.Recover()
-		if err := s.Check(); err != nil {
-			violations++
-			build()
-			continue
-		}
-		got := snapshot(s, name, cfg, keyspace)
-		if !equal(got, pre) && !equal(got, applyOracle(pre, name, key, cfg)) {
-			violations++
-			build()
-		}
-	}
-	return violations
-}
-
-// applyWithCrash panics out of the operation after n persistence events.
-func applyWithCrash(env *exec.Env, s pstruct.Structure, key uint64, n int) (crashed bool) {
-	count := 0
-	env.Hook = func() {
-		if count >= n {
-			panic(crashSignal{})
-		}
-		count++
-	}
-	defer func() {
-		env.Hook = nil
-		if r := recover(); r != nil {
-			if _, ok := r.(crashSignal); !ok {
-				panic(r)
+		fmt.Printf("%-3s %-9s %5d trials%s %5d crashes %4d torn lines: %s\n",
+			sr.Structure, rep.Variant, sr.Trials, extra, sr.Crashes, sr.TornLines, status)
+		for _, d := range sr.Details {
+			plan := d.Plan
+			if d.Shrunk != nil {
+				plan = *d.Shrunk
 			}
-			crashed = true
-		}
-	}()
-	s.Apply(key)
-	return false
-}
-
-// snapshot captures the observable state: membership for keyed structures,
-// the identity permutation for the string array.
-func snapshot(s pstruct.Structure, name string, cfg pstruct.Config, keyspace int) []uint64 {
-	if ss, ok := s.(*pstruct.StringSwap); ok {
-		out := make([]uint64, cfg.Strings)
-		for i := range out {
-			out[i] = ss.IdentityAt(uint64(i))
-		}
-		return out
-	}
-	out := make([]uint64, keyspace)
-	for k := 0; k < keyspace; k++ {
-		if s.Contains(uint64(k)) {
-			out[k] = 1
-		}
-	}
-	return out
-}
-
-// applyOracle computes the post-operation snapshot from the pre snapshot.
-func applyOracle(pre []uint64, name string, key uint64, cfg pstruct.Config) []uint64 {
-	post := append([]uint64(nil), pre...)
-	switch name {
-	case "SS":
-		n := uint64(cfg.Strings)
-		i, j := key%n, (key/n)%n
-		if i == j {
-			j = (j + 1) % n
-		}
-		post[i], post[j] = post[j], post[i]
-	case "GH":
-		nv := uint64(cfg.GraphVerts)
-		// Key toggles edge (key%nv, (key/nv)%nv); every key < keyspace
-		// with the same derived edge toggles together.
-		u, v := key%nv, (key/nv)%nv
-		for k := range post {
-			ku, kv := uint64(k)%nv, (uint64(k)/nv)%nv
-			if ku == u && kv == v {
-				post[k] ^= 1
+			data, _ := json.Marshal(plan)
+			det := "deterministic"
+			if !d.Deterministic {
+				det = "NOT deterministic"
 			}
-		}
-	default:
-		post[key] ^= 1
-	}
-	return post
-}
-
-func equal(a, b []uint64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+			fmt.Printf("    violation (%s, shrunk in %d steps): %s\n    reproducer: %s\n",
+				det, d.ShrinkSteps, d.Violation, data)
 		}
 	}
-	return true
+	if rep.Violations > 0 {
+		fmt.Printf("\n%d violations under %s (%s mode)", rep.Violations, rep.Variant, mode)
+		if rep.Variant != core.VariantLogPSf.String() {
+			fmt.Printf(" — this is the paper's point: only Log+P+Sf orders persists correctly")
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("\nall structures recovered atomically from every injected crash (%s, %s, %d trials)\n",
+			rep.Variant, mode, rep.Trials)
+	}
 }

@@ -44,14 +44,14 @@ func (s *store) toggle(key uint64) { s.hm.Apply(key) }
 // crashDuring runs toggle but cuts power after n persistence events.
 func (s *store) crashDuring(key uint64, n int) (crashed bool) {
 	count := 0
-	s.env.Hook = func() {
+	restore := s.env.WithHook(func() {
 		if count >= n {
 			panic(crashSignal{})
 		}
 		count++
-	}
+	})
 	defer func() {
-		s.env.Hook = nil
+		restore()
 		if r := recover(); r != nil {
 			if _, ok := r.(crashSignal); !ok {
 				panic(r)

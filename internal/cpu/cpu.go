@@ -253,6 +253,14 @@ type CPU struct {
 	// lastStall records why the most recent retirement attempt blocked.
 	lastStall *uint64
 
+	// cycleHook, when non-nil, runs once per simulation step (differential
+	// harnesses use it to fire coherence probes at controlled points).
+	cycleHook func(*CPU)
+	// commitLog, when enabled, records every architectural/durable effect
+	// in the order it reaches the memory system.
+	logCommits bool
+	commitLog  []CommitEvent
+
 	// Observability. tl is nil unless timeline recording was requested;
 	// the remaining fields track open spans (notIssued = no span open)
 	// and the SSB occupancy high-water already reported.
@@ -411,6 +419,33 @@ func (c *CPU) storeBufHasLine(addr uint64) bool {
 		}
 	}
 	return false
+}
+
+// CommitEvent is one committed effect on the memory system: a store or
+// flush reaching the cache hierarchy, or a pcommit reaching the memory
+// controller. The SP differential check compares these streams between a
+// speculative and a non-speculative run of the same trace.
+type CommitEvent struct {
+	Op   isa.Op
+	Addr uint64 // zero for pcommit
+}
+
+// OnCycle installs fn to run once per simulation step of Run; nil removes
+// it. The hook may call CoherenceProbe.
+func (c *CPU) OnCycle(fn func(*CPU)) { c.cycleHook = fn }
+
+// EnableCommitLog starts recording CommitEvents. Recording never changes
+// simulated timing.
+func (c *CPU) EnableCommitLog() { c.logCommits = true }
+
+// CommitLog returns the events recorded since EnableCommitLog.
+func (c *CPU) CommitLog() []CommitEvent { return c.commitLog }
+
+// logCommit appends one event when recording is on.
+func (c *CPU) logCommit(op isa.Op, addr uint64) {
+	if c.logCommits {
+		c.commitLog = append(c.commitLog, CommitEvent{Op: op, Addr: addr})
+	}
 }
 
 // speculating reports whether any speculative epoch is live.

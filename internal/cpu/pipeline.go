@@ -14,6 +14,9 @@ func (c *CPU) Run(src trace.Source) Stats {
 	c.srcDone = false
 	idleSteps := 0
 	for !c.finished() {
+		if c.cycleHook != nil {
+			c.cycleHook(c)
+		}
 		progress := false
 		progress = c.retire() || progress
 		progress = c.commitEngineStep() || progress
@@ -384,6 +387,7 @@ func (c *CPU) retireFlush(in isa.Instr) bool {
 	if ack > c.flushAckMax {
 		c.flushAckMax = ack
 	}
+	c.logCommit(in.Op, in.Addr)
 	c.countFlush(in)
 	c.noteStoreWhilePcommit()
 	return true
@@ -420,6 +424,7 @@ func (c *CPU) retirePcommit() bool {
 	}
 	done := c.mc.Pcommit(c.now)
 	c.tl.Span(obs.TrackPMEM, "pcommit", c.now, done)
+	c.logCommit(isa.Pcommit, 0)
 	c.outstandingPcommits()
 	c.pcommitDones = append(c.pcommitDones, done)
 	if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
@@ -527,6 +532,7 @@ func (c *CPU) drainStoreBuffer() bool {
 	e := c.storeBuf[0]
 	c.storeBuf = c.storeBuf[1:]
 	done := c.h.Store(e.addr, c.now)
+	c.logCommit(isa.Store, e.addr)
 	if done > c.storeVisibleMax {
 		c.storeVisibleMax = done
 	}

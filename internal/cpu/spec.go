@@ -115,6 +115,7 @@ func (c *CPU) commitEngineStep() bool {
 		}
 		done := c.mc.Pcommit(c.now)
 		c.tl.Span(obs.TrackPMEM, "pcommit.barrier", c.now, done)
+		c.logCommit(isa.Pcommit, 0)
 		c.outstandingPcommits()
 		c.pcommitDones = append(c.pcommitDones, done)
 		if n := len(c.pcommitDones); n > c.stats.MaxConcurrentPcommits {
@@ -162,6 +163,7 @@ func (c *CPU) commitEngineStep() bool {
 
 // drainEntry applies one SSB entry non-speculatively.
 func (c *CPU) drainEntry(e sp.Entry, ep *epoch) {
+	c.logCommit(e.Op, e.Addr)
 	switch e.Op {
 	case isa.Store:
 		done := c.h.Store(e.Addr, c.now)

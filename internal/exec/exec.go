@@ -80,6 +80,20 @@ func (e *Env) hook() {
 	}
 }
 
+// WithHook installs fn as the event hook and returns a function restoring
+// the previous hook. Call the restore function with defer: crash-injection
+// hooks abort operations by panicking, and a hook left armed after an early
+// return (or an escaped panic) fires inside whatever state-changing
+// operation runs next, corrupting an unrelated trial.
+//
+//	restore := env.WithHook(func() { ... })
+//	defer restore()
+func (e *Env) WithHook(fn func()) (restore func()) {
+	prev := e.Hook
+	e.Hook = fn
+	return func() { e.Hook = prev }
+}
+
 // New returns an Env at LevelFull over a fresh persistence model with no
 // trace emission.
 func New() *Env {

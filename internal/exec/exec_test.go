@@ -224,3 +224,44 @@ func TestUntracedEnvWorks(t *testing.T) {
 		t.Error("untraced persist failed")
 	}
 }
+
+func TestWithHookRestores(t *testing.T) {
+	e := New()
+	outer := 0
+	e.Hook = func() { outer++ }
+
+	inner := 0
+	func() {
+		defer e.WithHook(func() { inner++ })()
+		e.StoreU64(e.AllocLines(1), 1, isa.NoReg, isa.NoReg)
+	}()
+	if inner != 1 {
+		t.Fatalf("inner hook fired %d times, want 1", inner)
+	}
+	e.StoreU64(e.AllocLines(1), 2, isa.NoReg, isa.NoReg)
+	if outer != 1 {
+		t.Fatalf("outer hook not restored: fired %d times, want 1", outer)
+	}
+	if inner != 1 {
+		t.Fatalf("inner hook fired after restore")
+	}
+}
+
+func TestWithHookRestoresAcrossPanic(t *testing.T) {
+	e := New()
+	type sig struct{}
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		defer e.WithHook(func() { panic(sig{}) })()
+		e.StoreU64(e.AllocLines(1), 1, isa.NoReg, isa.NoReg)
+	}()
+	if e.Hook != nil {
+		t.Fatal("hook left armed after panic")
+	}
+	// Must not panic now.
+	e.StoreU64(e.AllocLines(1), 2, isa.NoReg, isa.NoReg)
+}

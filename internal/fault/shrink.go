@@ -1,0 +1,147 @@
+package fault
+
+import "specpersist/internal/pmem"
+
+// DefaultShrinkBudget bounds the number of replays one shrink may spend.
+const DefaultShrinkBudget = 400
+
+// ShrinkPlan minimizes a failing plan by greedy delta debugging: each
+// reduction step replays a candidate plan and keeps it only if it still
+// fails (with any violation — the minimal reproducer need not preserve the
+// exact message, just the failure). It iterates to a fixpoint or until the
+// replay budget runs out, and returns the minimized plan, its outcome, and
+// the number of replays spent (also accumulated in fault.shrink.steps).
+//
+// The reductions, in order: drop the recovery crash, shrink warmup, shrink
+// the probed-operation index, shrink the crash index, delta-minimize the
+// fate lists (fewer spontaneously-persisting lines), and simplify surviving
+// torn masks to whole-line persists.
+func (e *Engine) ShrinkPlan(p Plan) (Plan, Outcome, int) {
+	budget := e.ShrinkBudget
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	steps := 0
+	fails := func(q Plan) bool {
+		if steps >= budget {
+			return false
+		}
+		steps++
+		e.shrinkSteps.Add(1)
+		o, err := Run(q)
+		return err == nil && o.Failed()
+	}
+	if !fails(p) {
+		// Not reproducible (or budget exhausted immediately): return as-is.
+		out, _ := Run(p)
+		return p, out, steps
+	}
+
+	for steps < budget {
+		improved := false
+
+		// Drop the second crash entirely.
+		if p.RecoveryCrash >= 0 || len(p.RecoveryFates) > 0 {
+			q := p
+			q.RecoveryCrash = -1
+			q.RecoveryFates = nil
+			if fails(q) {
+				p = q
+				improved = true
+			}
+		}
+
+		// Shrink scalar fields toward zero (try zero first, then halves).
+		for _, f := range []struct {
+			get func(*Plan) *int
+			min int
+		}{
+			{func(q *Plan) *int { return &q.Warmup }, 0},
+			{func(q *Plan) *int { return &q.Op }, 0},
+			{func(q *Plan) *int { return &q.CrashIndex }, 0},
+			{func(q *Plan) *int { return &q.RecoveryCrash }, -1},
+		} {
+			cur := *f.get(&p)
+			for _, try := range []int{f.min, cur / 2, cur - 1} {
+				if try >= cur || try < f.min {
+					continue
+				}
+				q := p
+				*f.get(&q) = try
+				if fails(q) {
+					p = q
+					improved = true
+					break
+				}
+			}
+		}
+
+		if shrinkFates(&p.Fates, &p, fails) {
+			improved = true
+		}
+		if shrinkFates(&p.RecoveryFates, &p, fails) {
+			improved = true
+		}
+
+		if !improved {
+			break
+		}
+	}
+	out, _ := Run(p)
+	return p, out, steps
+}
+
+// shrinkFates delta-minimizes one fate list in place: first removing
+// contiguous chunks (halving granularity), then single entries, then
+// simplifying torn masks to FullMask. fates must point into plan. Reports
+// whether anything was removed or simplified.
+func shrinkFates(fates *[]LineFate, plan *Plan, fails func(Plan) bool) bool {
+	improved := false
+	// Chunked removal: try dropping halves, quarters, ... down to single
+	// entries (classic ddmin shape, greedy variant).
+	for size := (len(*fates) + 1) / 2; size >= 1; size /= 2 {
+		for start := 0; start < len(*fates); {
+			end := start + size
+			if end > len(*fates) {
+				end = len(*fates)
+			}
+			candidate := make([]LineFate, 0, len(*fates)-(end-start))
+			candidate = append(candidate, (*fates)[:start]...)
+			candidate = append(candidate, (*fates)[end:]...)
+			q := *plan
+			*fatesFieldOf(&q, fates, plan) = candidate
+			if fails(q) {
+				*fates = candidate
+				improved = true
+				// Re-test the same start index against the shorter list.
+			} else {
+				start = end
+			}
+		}
+	}
+	// Mask simplification: a torn line that can persist whole is a simpler
+	// reproducer (the tear was incidental).
+	for i := range *fates {
+		if (*fates)[i].Mask == pmem.FullMask {
+			continue
+		}
+		q := *plan
+		cand := append([]LineFate(nil), *fates...)
+		cand[i].Mask = pmem.FullMask
+		*fatesFieldOf(&q, fates, plan) = cand
+		if fails(q) {
+			(*fates)[i].Mask = pmem.FullMask
+			improved = true
+		}
+	}
+	return improved
+}
+
+// fatesFieldOf maps a fate-list pointer within the original plan onto the
+// corresponding field of a copied plan.
+func fatesFieldOf(dst *Plan, field *[]LineFate, orig *Plan) *[]LineFate {
+	if field == &orig.RecoveryFates {
+		return &dst.RecoveryFates
+	}
+	return &dst.Fates
+}

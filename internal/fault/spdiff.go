@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"specpersist/internal/core"
+	"specpersist/internal/cpu"
+	"specpersist/internal/exec"
+	"specpersist/internal/isa"
+	"specpersist/internal/mem"
+	"specpersist/internal/pstruct"
+	"specpersist/internal/trace"
+	"specpersist/internal/txn"
+)
+
+// SPDifferential verifies the §4.2.2 rollback contract: running the same
+// Log+P+Sf trace on the SP hardware, forcing at least one speculative-epoch
+// rollback via an external coherence probe, must leave the architectural
+// and durable effect stream equal to the plain (non-speculative) machine's.
+//
+// Effects are compared as commit logs — every store/flush reaching the
+// cache and every pcommit reaching the controller — canonicalized into
+// pcommit-delimited segments with per-line orderings, because the two
+// machines may legally interleave commits to different lines within one
+// persist epoch (store-buffer drain vs. SSB drain order).
+//
+// Returns nil when the streams match; an error describing the divergence
+// (or the failure to trigger a rollback) otherwise.
+func SPDifferential(structure string, seed int64, warmup, ops int) error {
+	p := DefaultPlan(structure, core.VariantLogPSf, seed)
+	if warmup > 0 {
+		p.Warmup = warmup
+	}
+	if ops <= 0 {
+		ops = 4
+	}
+
+	// Materialize the traced operations once; both machines replay the
+	// identical instruction stream.
+	var buf trace.Buffer
+	env := exec.New()
+	env.Level = exec.LevelFull
+	mgr := txn.NewManager(env, p.LogCapacity)
+	s := pstruct.Build(structure, env, mgr, p.config())
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < p.Warmup; i++ {
+		s.Apply(uint64(rng.Intn(p.Keyspace)))
+	}
+	env.M.PersistAll()
+	env.SetBuilder(trace.NewBuilder(&buf))
+	for i := 0; i < ops; i++ {
+		s.Apply(uint64(rng.Intn(p.Keyspace)))
+	}
+	env.SetBuilder(nil)
+
+	// Candidate probe lines: anything the trace stores to can collide with
+	// an external coherence request while buffered speculatively.
+	var candidates []uint64
+	seen := make(map[uint64]bool)
+	for _, in := range buf.Instrs() {
+		if in.Op == isa.Store {
+			if l := mem.LineAddr(in.Addr); !seen[l] {
+				seen[l] = true
+				candidates = append(candidates, l)
+			}
+		}
+	}
+
+	baseSys := core.New(core.VariantLogPSf)
+	baseSys.CPU.EnableCommitLog()
+	buf.Rewind()
+	baseSys.Run(&buf)
+	baseLog := baseSys.CPU.CommitLog()
+
+	spSys := core.New(core.VariantSP)
+	spSys.CPU.EnableCommitLog()
+	rolled := false
+	spSys.CPU.OnCycle(func(c *cpu.CPU) {
+		// Fire one coherence probe as early in speculation as possible:
+		// before the commit engine has drained anything, so the rollback
+		// discards only never-committed state and the re-executed stream
+		// commits each effect exactly once.
+		if rolled {
+			return
+		}
+		for _, a := range candidates {
+			if c.CoherenceProbe(a) {
+				rolled = true
+				return
+			}
+		}
+	})
+	buf.Rewind()
+	spStats := spSys.Run(&buf)
+	if spStats.Rollbacks == 0 {
+		return fmt.Errorf("fault: SP differential %s: no rollback was triggered (%d speculation entries)",
+			structure, spStats.SpecEntries)
+	}
+	if err := compareCommitLogs(baseLog, spSys.CPU.CommitLog()); err != nil {
+		return fmt.Errorf("fault: SP differential %s (after %d rollbacks): %w",
+			structure, spStats.Rollbacks, err)
+	}
+	return nil
+}
+
+// segment is one persist epoch's effects: per cache line, the ordered ops
+// applied to it (stores and flushes; the delimiting pcommits are implicit).
+type segment map[uint64][]isa.Op
+
+// canonicalSegments splits a commit log on pcommits and canonicalizes each
+// piece to per-line order, the strongest ordering both machines guarantee.
+func canonicalSegments(events []cpu.CommitEvent) []segment {
+	segs := []segment{{}}
+	for _, e := range events {
+		if e.Op == isa.Pcommit {
+			segs = append(segs, segment{})
+			continue
+		}
+		cur := segs[len(segs)-1]
+		line := mem.LineAddr(e.Addr)
+		cur[line] = append(cur[line], e.Op)
+	}
+	return segs
+}
+
+// compareCommitLogs checks canonical equality of two commit logs.
+func compareCommitLogs(base, sp []cpu.CommitEvent) error {
+	a, b := canonicalSegments(base), canonicalSegments(sp)
+	if len(a) != len(b) {
+		return fmt.Errorf("pcommit segment counts differ: base %d vs sp %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return fmt.Errorf("segment %d/%d differs: base has %d lines, sp has %d lines",
+				i, len(a), len(a[i]), len(b[i]))
+		}
+	}
+	return nil
+}

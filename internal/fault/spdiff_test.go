@@ -1,0 +1,22 @@
+package fault
+
+import "testing"
+
+// TestSPDifferential forces a speculative-epoch rollback mid-trace on the SP
+// machine and checks its committed effect stream against the plain Log+P+Sf
+// machine. Any durable or architectural divergence after rollback is a bug
+// in the speculation hardware model.
+func TestSPDifferential(t *testing.T) {
+	structures := []string{"LL", "HM"}
+	if testing.Short() {
+		structures = structures[:1]
+	}
+	for _, s := range structures {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			if err := SPDifferential(s, 7, 30, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -19,7 +19,9 @@
 package pmem
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"specpersist/internal/mem"
 	"specpersist/internal/obs"
@@ -63,6 +65,7 @@ type Stats struct {
 	Persisted  uint64 // lines made durable by pcommit
 	Crashes    uint64
 	Recoveries uint64
+	TornLines  uint64 // lines that landed partially durable at a crash
 }
 
 // Model is the functional persistence model. It is not safe for concurrent
@@ -187,36 +190,162 @@ func (m *Model) DirtyLines() int { return len(m.dirty) }
 // WPQLines reports the number of line snapshots pending in the controller.
 func (m *Model) WPQLines() int { return len(m.wpq) }
 
+// CrashSource identifies where a line's volatile-only content was sitting
+// when the crash hit: still dirty in the cache, or snapshotted in the
+// controller WPQ.
+type CrashSource int
+
+const (
+	// SourceCache is a dirty cache line (would persist via spontaneous
+	// eviction).
+	SourceCache CrashSource = iota
+	// SourceWPQ is a line snapshot pending in the controller (would
+	// persist via spontaneous WPQ drain).
+	SourceWPQ
+)
+
+// String returns the short name used in serialized fault plans.
+func (s CrashSource) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceWPQ:
+		return "wpq"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseCrashSource resolves the serialized name back to a CrashSource.
+func ParseCrashSource(s string) (CrashSource, error) {
+	switch s {
+	case "cache":
+		return SourceCache, nil
+	case "wpq":
+		return SourceWPQ, nil
+	default:
+		return 0, fmt.Errorf("pmem: unknown crash source %q", s)
+	}
+}
+
+// LineChunks is the number of atomic write units per cache line: the NVM
+// write atomicity the paper assumes is 8 bytes, so a 64-byte line persists
+// as 8 independent chunks and a crash can leave any subset durable (a
+// "torn" line).
+const LineChunks = mem.LineSize / 8
+
+// FullMask is the chunk mask persisting an entire line.
+const FullMask uint8 = 1<<LineChunks - 1
+
 // CrashOptions tune crash injection.
 type CrashOptions struct {
 	// EvictFrac is the probability that each dirty cache line was
 	// spontaneously evicted (and its writeback drained) before the crash,
 	// making it durable. Models the unpredictable LLC writeback order the
-	// paper motivates failure safety with (§2.1).
+	// paper motivates failure safety with (§2.1). Must be in [0, 1].
 	EvictFrac float64
 	// DrainFrac is the probability that each WPQ entry drained to NVMM on
-	// its own before the crash.
+	// its own before the crash. Must be in [0, 1].
 	DrainFrac float64
+	// TornFrac is the probability that a spontaneously persisting line
+	// lands torn: only a random subset of its 8-byte chunks becomes
+	// durable, modeling the sub-line write atomicity of NVM. Must be in
+	// [0, 1]; 0 keeps the historical whole-line behaviour.
+	TornFrac float64
 	// Rand drives the random choices; nil means no spontaneous
 	// evictions or drains happen (strictest crash).
 	Rand *rand.Rand
+	// LineFate, when non-nil, overrides the random choices entirely: it is
+	// called once per WPQ snapshot and then once per dirty line, in
+	// ascending line order, and returns the chunk persist-mask for that
+	// line (bit i set = bytes [8i, 8i+8) become durable; 0 = lost,
+	// FullMask = whole line). Deterministic fault plans are built on this.
+	LineFate func(line uint64, src CrashSource) uint8
+}
+
+// validate panics on malformed options, matching the simulator's
+// knob-validation convention: a fraction outside [0, 1] silently degenerates
+// into "never" or "always" and would invalidate a campaign's coverage claim.
+func (o CrashOptions) validate() {
+	check := func(name string, v float64) {
+		if v < 0 || v > 1 || v != v {
+			panic(fmt.Sprintf("pmem: CrashOptions.%s must be in [0,1], got %v", name, v))
+		}
+	}
+	check("EvictFrac", o.EvictFrac)
+	check("DrainFrac", o.DrainFrac)
+	check("TornFrac", o.TornFrac)
+}
+
+// sortedLines returns the keys of a line-keyed map in ascending order, so
+// crash injection visits lines deterministically regardless of map layout.
+func sortedLines[V any](m map[uint64]V) []uint64 {
+	lines := make([]uint64, 0, len(m))
+	for line := range m {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+// persistMasked makes the selected 8-byte chunks of a line durable. src is
+// the line content to persist (a WPQ snapshot, or nil for the current
+// volatile content of a dirty line).
+func (m *Model) persistMasked(line uint64, src []byte, mask uint8) {
+	if mask == 0 {
+		return
+	}
+	if src == nil {
+		var buf [mem.LineSize]byte
+		m.volatile.Read(line, buf[:])
+		src = buf[:]
+	}
+	if mask != FullMask {
+		m.stats.TornLines++
+	}
+	for c := 0; c < LineChunks; c++ {
+		if mask&(1<<c) != 0 {
+			m.durable.Write(line+uint64(c*8), src[c*8:c*8+8])
+		}
+	}
+}
+
+// tornMask returns the chunk mask for one spontaneously persisting line:
+// the full line, or — with probability TornFrac — a random strict subset of
+// its chunks (sub-line atomicity).
+func tornMask(opts CrashOptions) uint8 {
+	if opts.TornFrac > 0 && opts.Rand.Float64() < opts.TornFrac {
+		return uint8(opts.Rand.Intn(int(FullMask))) // 0..FullMask-1: never the whole line
+	}
+	return FullMask
 }
 
 // Crash simulates power loss: the volatile view and WPQ are discarded and
 // the program-visible state is reset to the durable image. Spontaneous
-// evictions/drains selected by opts are applied first. The allocator cursor
-// is preserved so lost allocations are never reused.
+// drains/evictions selected by opts are applied first — WPQ snapshots
+// before dirty-line evictions (an eviction carries the newer content), each
+// visited in ascending line order so that seeded runs replay exactly. The
+// allocator cursor is preserved so lost allocations are never reused.
 func (m *Model) Crash(opts CrashOptions) {
+	opts.validate()
 	m.stats.Crashes++
-	if opts.Rand != nil {
-		for line := range m.dirty {
-			if opts.Rand.Float64() < opts.EvictFrac {
-				m.volatile.CopyLineTo(m.durable, line)
+	switch {
+	case opts.LineFate != nil:
+		for _, line := range sortedLines(m.wpq) {
+			m.persistMasked(line, m.wpq[line], opts.LineFate(line, SourceWPQ))
+		}
+		for _, line := range sortedLines(m.dirty) {
+			m.persistMasked(line, nil, opts.LineFate(line, SourceCache))
+		}
+	case opts.Rand != nil:
+		for _, line := range sortedLines(m.wpq) {
+			if opts.Rand.Float64() < opts.DrainFrac {
+				m.persistMasked(line, m.wpq[line], tornMask(opts))
 			}
 		}
-		for line, buf := range m.wpq {
-			if opts.Rand.Float64() < opts.DrainFrac {
-				m.durable.Write(line, buf)
+		for _, line := range sortedLines(m.dirty) {
+			if opts.Rand.Float64() < opts.EvictFrac {
+				m.persistMasked(line, nil, tornMask(opts))
 			}
 		}
 	}
@@ -255,4 +384,5 @@ func (m *Model) Register(r *obs.Registry) {
 	r.RegisterFunc("pmem.persisted", func() uint64 { return m.stats.Persisted })
 	r.RegisterFunc("pmem.crashes", func() uint64 { return m.stats.Crashes })
 	r.RegisterFunc("pmem.recoveries", func() uint64 { return m.stats.Recoveries })
+	r.RegisterFunc("pmem.torn_lines", func() uint64 { return m.stats.TornLines })
 }

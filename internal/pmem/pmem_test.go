@@ -285,3 +285,137 @@ func TestQuickUnpersistedNeverSurvives(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCrashOptionsValidation(t *testing.T) {
+	cases := []CrashOptions{
+		{EvictFrac: -0.1},
+		{EvictFrac: 1.1},
+		{DrainFrac: -1},
+		{DrainFrac: 2},
+		{TornFrac: -0.5},
+		{TornFrac: 1.5},
+	}
+	for i, opts := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: Crash(%+v) did not panic", i, opts)
+				}
+			}()
+			New().Crash(opts)
+		}()
+	}
+	// In-range values (with no Rand) must not panic.
+	New().Crash(CrashOptions{EvictFrac: 1, DrainFrac: 0.5, TornFrac: 0.25})
+}
+
+// TestLineFateTornWrite persists only selected 8-byte chunks of a line:
+// the NVM atomicity the paper assumes is 8 bytes, so any chunk subset is a
+// legal post-crash image.
+func TestLineFateTornWrite(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	for c := 0; c < LineChunks; c++ {
+		m.WriteU64(addr+uint64(c*8), uint64(100+c))
+	}
+	// Persist chunks 0 and 3 of the dirty line only.
+	m.Crash(CrashOptions{LineFate: func(line uint64, src CrashSource) uint8 {
+		if src != SourceCache {
+			t.Errorf("unexpected source %v for dirty line", src)
+		}
+		return 1<<0 | 1<<3
+	}})
+	for c := 0; c < LineChunks; c++ {
+		want := uint64(0)
+		if c == 0 || c == 3 {
+			want = uint64(100 + c)
+		}
+		if got := m.ReadU64(addr + uint64(c*8)); got != want {
+			t.Errorf("chunk %d: got %d want %d", c, got, want)
+		}
+	}
+	if m.Stats().TornLines != 1 {
+		t.Errorf("TornLines = %d, want 1", m.Stats().TornLines)
+	}
+}
+
+// TestLineFateWPQSnapshotTorn tears a WPQ snapshot: the persisted chunks
+// must carry the snapshot content, not the newer volatile content.
+func TestLineFateWPQSnapshotTorn(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 1)
+	m.WriteU64(addr+8, 2)
+	m.Clwb(addr) // snapshot {1, 2}
+	m.WriteU64(addr, 50)
+	m.WriteU64(addr+8, 60) // line dirty again on top of the snapshot
+	m.Crash(CrashOptions{LineFate: func(line uint64, src CrashSource) uint8 {
+		if src == SourceWPQ {
+			return 1 << 1 // drain only the second chunk of the snapshot
+		}
+		return 0 // the re-dirtied content is lost
+	}})
+	if got := m.ReadU64(addr); got != 0 {
+		t.Errorf("chunk 0: got %d, want 0 (not drained)", got)
+	}
+	if got := m.ReadU64(addr + 8); got != 2 {
+		t.Errorf("chunk 1: got %d, want snapshot value 2", got)
+	}
+}
+
+// TestLineFateEvictionBeatsDrain persists both the WPQ snapshot and the
+// newer dirty content of the same line: the eviction (newer content) must
+// win, matching the documented drain-then-evict order.
+func TestLineFateEvictionBeatsDrain(t *testing.T) {
+	m := New()
+	addr := m.AllocLines(1)
+	m.WriteU64(addr, 1)
+	m.Clwb(addr)
+	m.WriteU64(addr, 2)
+	m.Crash(CrashOptions{LineFate: func(line uint64, src CrashSource) uint8 { return FullMask }})
+	if got := m.ReadU64(addr); got != 2 {
+		t.Errorf("got %d, want the evicted (newer) value 2", got)
+	}
+}
+
+// TestCrashSeedReplay checks that two identical seeded crash injections
+// produce byte-identical durable images: Crash visits lines in sorted
+// order, so the Rand consumption no longer depends on map iteration.
+func TestCrashSeedReplay(t *testing.T) {
+	build := func() *Model {
+		m := New()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 200; i++ {
+			a := m.AllocLines(1)
+			m.WriteU64(a, rng.Uint64())
+			if i%3 == 0 {
+				m.Clwb(a)
+			}
+		}
+		m.Crash(CrashOptions{EvictFrac: 0.5, DrainFrac: 0.5, TornFrac: 0.5,
+			Rand: rand.New(rand.NewSource(42))})
+		return m
+	}
+	a, b := build(), build()
+	base := uint64(mem.DefaultBase)
+	for off := uint64(0); off < 200*mem.LineSize; off += 8 {
+		if x, y := a.ReadU64(base+off), b.ReadU64(base+off); x != y {
+			t.Fatalf("offset %d: %d != %d — crash injection not replayable", off, x, y)
+		}
+	}
+}
+
+func TestParseCrashSource(t *testing.T) {
+	for _, src := range []CrashSource{SourceCache, SourceWPQ} {
+		got, err := ParseCrashSource(src.String())
+		if err != nil || got != src {
+			t.Errorf("round trip %v: got %v, %v", src, got, err)
+		}
+	}
+	if _, err := ParseCrashSource("nope"); err == nil {
+		t.Error("ParseCrashSource accepted garbage")
+	}
+	if CrashSource(99).String() != "invalid" {
+		t.Error("invalid source name")
+	}
+}

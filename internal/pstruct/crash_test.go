@@ -18,14 +18,14 @@ type crashSignal struct{}
 // before reaching the event index).
 func applyWithCrash(env *exec.Env, s Structure, key uint64, after int) (crashed bool) {
 	n := 0
-	env.Hook = func() {
+	restore := env.WithHook(func() {
 		if n >= after {
 			panic(crashSignal{})
 		}
 		n++
-	}
+	})
 	defer func() {
-		env.Hook = nil
+		restore()
 		if r := recover(); r != nil {
 			if _, ok := r.(crashSignal); !ok {
 				panic(r)

@@ -19,7 +19,10 @@ import (
 //
 // v2: Result gained the unified Metrics snapshot (internal/obs); v1
 // entries lack it and must not satisfy v2 lookups.
-const schemaVersion = 2
+//
+// v3: the pmem registry gained the "pmem.torn_lines" key, so v2 snapshots
+// have a different key set than the current model produces.
+const schemaVersion = 3
 
 // DefaultCacheDir is where sweeps cache results unless told otherwise.
 const DefaultCacheDir = ".sweepcache"

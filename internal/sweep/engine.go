@@ -5,7 +5,6 @@ import (
 	"io"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"specpersist/internal/workload"
@@ -48,53 +47,27 @@ func (e *Engine) workers() int {
 func (e *Engine) Run(jobs []workload.Job) ([]JobResult, error) {
 	out := make([]JobResult, len(jobs))
 	prog := newProgress(e.Progress, len(jobs))
-
-	var (
-		idx      atomic.Int64
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	n := e.workers()
-	if n > len(jobs) {
-		n = len(jobs)
-	}
-	for w := 0; w < n; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(idx.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() {
-					return
-				}
-				j := jobs[i]
-				start := time.Now()
-				if r, ok := e.Cache.Get(j); ok {
-					out[i] = JobResult{Job: j, Result: r, Cached: true, Elapsed: time.Since(start)}
-					prog.done(j, out[i].Elapsed, true)
-					continue
-				}
-				r, err := j.Run()
-				if err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("job %s: %w", j.Label(), err) })
-					failed.Store(true)
-					return
-				}
-				if err := e.Cache.Put(j, r); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-					return
-				}
-				out[i] = JobResult{Job: j, Result: r, Elapsed: time.Since(start)}
-				prog.done(j, out[i].Elapsed, false)
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := Pool(e.workers(), len(jobs), func(i int) error {
+		j := jobs[i]
+		start := time.Now()
+		if r, ok := e.Cache.Get(j); ok {
+			out[i] = JobResult{Job: j, Result: r, Cached: true, Elapsed: time.Since(start)}
+			prog.done(j, out[i].Elapsed, true)
+			return nil
+		}
+		r, err := j.Run()
+		if err != nil {
+			return fmt.Errorf("job %s: %w", j.Label(), err)
+		}
+		if err := e.Cache.Put(j, r); err != nil {
+			return err
+		}
+		out[i] = JobResult{Job: j, Result: r, Elapsed: time.Since(start)}
+		prog.done(j, out[i].Elapsed, false)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := Pool(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolZeroItems(t *testing.T) {
+	if err := Pool(4, 0, func(int) error { t.Error("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Pool(2, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("pool did not stop early: %d items ran", got)
+	}
+}

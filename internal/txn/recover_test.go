@@ -1,0 +1,145 @@
+package txn
+
+import (
+	"testing"
+
+	"specpersist/internal/exec"
+	"specpersist/internal/isa"
+	"specpersist/internal/pmem"
+)
+
+// transferSetup builds a fenced env with two durable cells a=100, b=0.
+func transferSetup(t *testing.T) (*exec.Env, *Manager, uint64, uint64) {
+	t.Helper()
+	env := newEnv(exec.LevelFull)
+	m := NewManager(env, 8)
+	a := env.AllocLines(1)
+	b := env.AllocLines(1)
+	env.StoreU64(a, 100, isa.NoReg, isa.NoReg)
+	env.FlushRange(a, 8)
+	env.FlushRange(b, 8)
+	env.PersistBarrier()
+	return env, m, a, b
+}
+
+// crashBetweenStep3And4 runs the transfer but stops after step 3's barrier:
+// updates durable, logged_bit still durably set.
+func crashBetweenStep3And4(env *exec.Env, m *Manager, a, b uint64) {
+	tx := m.MustBegin()
+	tx.Log(a, 8, isa.NoReg)
+	tx.Log(b, 8, isa.NoReg)
+	tx.SetLogged()
+	env.StoreU64(a, 70, isa.NoReg, isa.NoReg)
+	env.StoreU64(b, 30, isa.NoReg, isa.NoReg)
+	// Step 3 by hand (Commit would run step 4 too).
+	env.Clwb(a)
+	env.Clwb(b)
+	env.PersistBarrier()
+	env.Crash(pmem.CrashOptions{})
+}
+
+func TestRecoverAfterStep3UndoesDurableUpdates(t *testing.T) {
+	env, m, a, b := transferSetup(t)
+	crashBetweenStep3And4(env, m, a, b)
+	if env.M.ReadU64(a) != 70 || env.M.ReadU64(b) != 30 {
+		t.Fatal("setup: updates should be durable at the crash")
+	}
+	if !m.InProgress() {
+		t.Fatal("setup: logged_bit should be durably set")
+	}
+	if !m.Recover() {
+		t.Fatal("recovery should have rolled back")
+	}
+	// logged_bit was set, so the transaction never completed: recovery must
+	// restore the pre-images even though the updates were already durable.
+	if got := env.M.ReadU64(a); got != 100 {
+		t.Errorf("a = %d, want rolled-back 100", got)
+	}
+	if got := env.M.ReadU64(b); got != 0 {
+		t.Errorf("b = %d, want rolled-back 0", got)
+	}
+	if got := m.Stats().Recoveries; got != 1 {
+		t.Errorf("Recoveries = %d, want 1", got)
+	}
+}
+
+func TestDoubleRecoverIsIdempotent(t *testing.T) {
+	env, m, a, b := transferSetup(t)
+	crashBetweenStep3And4(env, m, a, b)
+	if !m.Recover() {
+		t.Fatal("first recovery should have rolled back")
+	}
+	if m.Recover() {
+		t.Error("second recovery was not a no-op")
+	}
+	if got := env.M.ReadU64(a); got != 100 {
+		t.Errorf("a = %d, want 100", got)
+	}
+	if got := m.Stats().Recoveries; got != 1 {
+		t.Errorf("Recoveries = %d, want 1 (no-op runs must not count)", got)
+	}
+}
+
+func TestRecoverFiresHookPerEvent(t *testing.T) {
+	env, m, a, b := transferSetup(t)
+	crashBetweenStep3And4(env, m, a, b)
+	events := 0
+	restore := env.WithHook(func() { events++ })
+	m.Recover()
+	restore()
+	// 2 events (store + clwb) per logged entry, then pcommit, header store,
+	// clwb, pcommit.
+	want := 2*2 + 4
+	if events != want {
+		t.Errorf("recovery fired %d hook events, want %d", events, want)
+	}
+}
+
+// TestCrashDuringRecoveryEveryPointConverges re-crashes recovery at every
+// persistence event it performs; a subsequent complete recovery must always
+// converge to the rolled-back state, counting only completed recoveries.
+func TestCrashDuringRecoveryEveryPointConverges(t *testing.T) {
+	type sig struct{}
+	for k := 0; k < 2*2+4; k++ {
+		env, m, a, b := transferSetup(t)
+		crashBetweenStep3And4(env, m, a, b)
+		n := 0
+		interrupted := func() (crashed bool) {
+			defer env.WithHook(func() {
+				if n >= k {
+					panic(sig{})
+				}
+				n++
+			})()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(sig); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			m.Recover()
+			return false
+		}()
+		if !interrupted {
+			t.Fatalf("k=%d: recovery completed before the crash point", k)
+		}
+		if got := m.Stats().Recoveries; got != 0 {
+			t.Fatalf("k=%d: interrupted recovery counted (Recoveries=%d)", k, got)
+		}
+		env.Crash(pmem.CrashOptions{})
+		if !m.Recover() {
+			// Legal only if the interrupted attempt already durably cleared
+			// logged_bit — impossible before its final pcommit, and k stops
+			// before that event fires.
+			t.Fatalf("k=%d: second recovery found nothing to do", k)
+		}
+		if va, vb := env.M.ReadU64(a), env.M.ReadU64(b); va != 100 || vb != 0 {
+			t.Fatalf("k=%d: did not converge: a=%d b=%d", k, va, vb)
+		}
+		if got := m.Stats().Recoveries; got != 1 {
+			t.Fatalf("k=%d: Recoveries = %d, want 1", k, got)
+		}
+	}
+}

@@ -292,10 +292,19 @@ func (m *Manager) InProgress() bool {
 // Recovery runs directly against the persistence model (fully fenced,
 // untraced): it models the post-restart recovery code, which is not part of
 // the measured workload.
+//
+// Like the forward path, Recover fires env.Hook before every state-changing
+// operation (stores, clwbs, pcommits — 2·count+4 events for a rollback of
+// count entries), so crash injection can interrupt recovery itself.
 func (m *Manager) Recover() bool {
 	// Any transaction in flight at the crash is gone.
 	m.active = nil
 	pm := m.env.M
+	hook := func() {
+		if m.env.Hook != nil {
+			m.env.Hook()
+		}
+	}
 	if pm.ReadU64(m.hdr) == 0 {
 		return false
 	}
@@ -310,12 +319,18 @@ func (m *Manager) Recover() bool {
 	for i := int(count) - 1; i >= 0; i-- {
 		addr := pm.ReadU64(m.meta + uint64(i*8))
 		pm.Read(m.data+uint64(i*mem.LineSize), buf)
+		hook()
 		pm.Write(addr, buf)
+		hook()
 		pm.Clwb(addr)
 	}
+	hook()
 	pm.Pcommit()
+	hook()
 	pm.WriteU64(m.hdr, 0)
+	hook()
 	pm.Clwb(m.hdr)
+	hook()
 	pm.Pcommit()
 	m.active = nil
 	m.stats.Recoveries++
