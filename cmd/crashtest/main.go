@@ -58,6 +58,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the machine-readable report as JSON on stdout")
 		replayFile  = flag.String("replay", "", "replay one plan from a JSON reproducer file and exit")
 		spdiff      = flag.Bool("spdiff", false, "run the SP rollback differential instead of a crash campaign")
+		probeMode   = flag.String("probe", "forced", "spdiff probe source: forced (harness-injected) or real (2-core adversary via internal/multicore)")
 		expectViol  = flag.Bool("expect-violations", false, "negative control: exit nonzero unless violations are found")
 	)
 	flag.Parse()
@@ -73,7 +74,7 @@ func main() {
 	}
 
 	if *spdiff {
-		runSPDiff(structures, *seed, *warmup, *ops)
+		runSPDiff(structures, *probeMode, *seed, *warmup, *ops)
 		return
 	}
 
@@ -185,17 +186,25 @@ func replay(path string, jsonOut bool) {
 	}
 }
 
-func runSPDiff(structures []string, seed int64, warmup, ops int) {
+func runSPDiff(structures []string, probeMode string, seed int64, warmup, ops int) {
+	diff := fault.SPDifferential
+	switch probeMode {
+	case "forced":
+	case "real":
+		diff = fault.SPDifferentialReal
+	default:
+		log.Fatalf("-probe must be forced or real, got %q", probeMode)
+	}
 	if len(structures) == 0 {
 		structures = pstruct.Names()
 	}
 	failed := 0
 	for _, s := range structures {
-		if err := fault.SPDifferential(s, seed, warmup, ops); err != nil {
-			fmt.Printf("%-3s SP differential: FAIL: %v\n", s, err)
+		if err := diff(s, seed, warmup, ops); err != nil {
+			fmt.Printf("%-3s SP differential (%s probe): FAIL: %v\n", s, probeMode, err)
 			failed++
 		} else {
-			fmt.Printf("%-3s SP differential: OK (rollback stream matches non-speculative machine)\n", s)
+			fmt.Printf("%-3s SP differential (%s probe): OK (rollback stream matches non-speculative machine)\n", s, probeMode)
 		}
 	}
 	if failed > 0 {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"specpersist/internal/core"
+	"specpersist/internal/multicore"
 	"specpersist/internal/report"
 	"specpersist/internal/sweep"
 	"specpersist/internal/workload"
@@ -32,18 +33,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig      = flag.Int("fig", 0, "figure number to regenerate (8-14; 0 = all)")
-		table    = flag.Int("table", 0, "table number to regenerate (1-3; 0 = all)")
-		scale    = flag.Float64("scale", 0.02, "scale factor for Table 1 op counts (1.0 = paper)")
-		seed     = flag.Int64("seed", 1, "operation stream seed")
-		only     = flag.Bool("only", false, "with -fig/-table, print only that item")
-		ablation = flag.Bool("ablation", false, "also run the SP design-choice ablations")
-		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
-		chart    = flag.Bool("chart", false, "also render bar charts for the overhead figures")
-		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache)")
-		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
-		stalls   = flag.Bool("stalls", false, "print per-benchmark stall attribution (Log+P+Sf and SP)")
+		fig       = flag.Int("fig", 0, "figure number to regenerate (8-14; 0 = all)")
+		table     = flag.Int("table", 0, "table number to regenerate (1-3; 0 = all)")
+		scale     = flag.Float64("scale", 0.02, "scale factor for Table 1 op counts (1.0 = paper)")
+		seed      = flag.Int64("seed", 1, "operation stream seed")
+		only      = flag.Bool("only", false, "with -fig/-table, print only that item")
+		ablation  = flag.Bool("ablation", false, "also run the SP design-choice ablations")
+		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
+		chart     = flag.Bool("chart", false, "also render bar charts for the overhead figures")
+		jobs      = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache", "", "result cache directory (empty = no cache)")
+		progress  = flag.Bool("progress", false, "report per-simulation progress on stderr")
+		stalls    = flag.Bool("stalls", false, "print per-benchmark stall attribution (Log+P+Sf and SP)")
+		conflicts = flag.Bool("conflicts", false, "print the multi-core conflict-sensitivity table (real BLT probes)")
 	)
 	flag.Parse()
 
@@ -132,5 +134,8 @@ func main() {
 				emit("stalls", func() *report.Table { return s.StallAttribution(bench, variant) })
 			}
 		}
+	}
+	if *conflicts {
+		emit("conflicts", func() *report.Table { return multicore.ConflictTable(*seed) })
 	}
 }

@@ -6,10 +6,17 @@
 //	spsim -bench LL -variant SP -scale 0.02 -ssb 256 -seed 1
 //	spsim -bench LL -variant SP -json      # machine-readable output
 //	spsim -bench BT -variant SP -timeline out.json  # Chrome trace
+//	spsim -cores 4 -bench HM -mc-frac 1.0  # multi-core conflict engine
 //	spsim -list                            # enumerate benchmarks and variants
 //
 // Benchmarks: GH HM LL SS AT BT RT (paper Table 1).
 // Variants:   Base, Log, Log+P, Log+P+Sf, SP (paper Figure 8).
+//
+// With -cores N (N >= 2) the run switches to the multi-core conflict
+// engine: N SP cores over a shared backend, each core's committed stores
+// probing the others' BLTs (§4.2.2), with the -mc-* flags dialing the
+// conflict rate. -expect-rollbacks makes the exit status assert that at
+// least one real coherence rollback occurred (CI smoke).
 //
 // The -timeline file is Chrome trace_event JSON: load it at
 // chrome://tracing or https://ui.perfetto.dev (1 cycle renders as 1 µs).
@@ -23,6 +30,7 @@ import (
 	"os"
 
 	"specpersist/internal/core"
+	"specpersist/internal/multicore"
 	"specpersist/internal/obs"
 	"specpersist/internal/workload"
 )
@@ -67,11 +75,26 @@ func main() {
 		timeline  = flag.String("timeline", "", "write a Chrome trace_event JSON timeline to this file")
 		tlCap     = flag.Int("timeline-cap", obs.DefaultTimelineCap, "timeline ring-buffer capacity (events)")
 		listOnly  = flag.Bool("list", false, "list valid benchmarks and variants, then exit")
+
+		cores       = flag.Int("cores", 0, "run the multi-core conflict engine with this many SP cores (0 = single-core)")
+		mcFrac      = flag.Float64("mc-frac", 0.5, "multicore: probability an op is a shared-table RMW (conflict dial)")
+		mcShared    = flag.Int("mc-shared-lines", 4, "multicore: shared-table lines per core")
+		mcOps       = flag.Int("mc-ops", 48, "multicore: measured ops per core")
+		mcWarmup    = flag.Int("mc-warmup", 60, "multicore: private-structure warmup ops per core")
+		mcDisjoint  = flag.Bool("mc-disjoint", false, "multicore: partition the shared table per core (zero-conflict control)")
+		expectRolls = flag.Bool("expect-rollbacks", false, "multicore: exit nonzero unless at least one real rollback occurred")
 	)
 	flag.Parse()
 
 	if *listOnly {
 		list()
+		return
+	}
+
+	if *cores >= 2 {
+		runMulticore(*cores, *benchName, *seed, *mcFrac, *mcShared, *mcOps, *mcWarmup,
+			*mcDisjoint, *overhead, *ssb, *ckpts, *banks, *jsonOut, *expectRolls,
+			*timeline, *tlCap)
 		return
 	}
 
@@ -164,4 +187,103 @@ func main() {
 	fmt.Printf("NVMM reads/writes    %d / %d (coalesced %d)\n", mcs.Reads, mcs.Writes, mcs.Coalesced)
 	fmt.Printf("WPQ max/stalls       %d / %d\n", mcs.WPQMax, mcs.WPQStalls)
 	fmt.Printf("\n%s", obs.FormatStallReport(r.Metrics))
+}
+
+// mcJSONOutput is the -json document for a multi-core run.
+type mcJSONOutput struct {
+	Structure  string          `json:"structure"`
+	Cores      int             `json:"cores"`
+	SharedFrac float64         `json:"shared_frac"`
+	Disjoint   bool            `json:"disjoint"`
+	Seed       int64           `json:"seed"`
+	Stats      multicore.Stats `json:"stats"`
+	Metrics    obs.Snapshot    `json:"metrics"`
+}
+
+// runMulticore drives the N-core conflict engine and prints its counters.
+func runMulticore(cores int, structure string, seed int64, frac float64,
+	sharedLines, ops, warmup int, disjoint bool, overhead, ssb, ckpts, banks int,
+	jsonOut, expectRolls bool, timeline string, tlCap int) {
+	w := multicore.DefaultWorkload()
+	w.Structure = structure
+	w.Cores = cores
+	w.Seed = seed
+	w.SharedFrac = frac
+	w.SharedLines = sharedLines
+	w.Ops = ops
+	w.Warmup = warmup
+	w.Disjoint = disjoint
+	w.OpOverhead = overhead
+
+	cfg := multicore.DefaultConfig()
+	if ssb > 0 {
+		cfg.Options.CPU.SP.SSBEntries = ssb
+	}
+	if ckpts > 0 {
+		cfg.Options.CPU.SP.Checkpoints = ckpts
+	}
+	if banks > 0 {
+		cfg.Options.Mem.Banks = banks
+	}
+	var tl *obs.Timeline
+	if timeline != "" {
+		tl = obs.NewTimeline(tlCap)
+		cfg.Timeline = tl
+	}
+
+	res, err := multicore.RunWorkload(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tl != nil {
+		f, err := os.Create(timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tl.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if n := tl.Dropped(); n > 0 {
+			log.Printf("timeline ring overflowed: %d oldest events dropped (raise -timeline-cap)", n)
+		}
+	}
+	st := res.Stats
+	if jsonOut {
+		out := mcJSONOutput{
+			Structure:  w.Structure,
+			Cores:      w.Cores,
+			SharedFrac: w.SharedFrac,
+			Disjoint:   w.Disjoint,
+			Seed:       w.Seed,
+			Stats:      st,
+			Metrics:    res.Metrics,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rng := "shared"
+		if w.Disjoint {
+			rng = "disjoint"
+		}
+		fmt.Printf("multicore            %d cores, %s structure, frac %.2f (%s range)\n",
+			w.Cores, w.Structure, w.SharedFrac, rng)
+		fmt.Printf("probes               %d (filtered %d, delivered %d)\n",
+			st.Probes, st.Filtered, st.Delivered)
+		fmt.Printf("conflicts            %d (deferred %d)\n", st.Conflicts, st.Deferred)
+		fmt.Printf("rollbacks            %d (%d penalty cycles)\n", st.Rollbacks, st.RollbackCycles)
+		for i, cs := range st.PerCore {
+			fmt.Printf("core %-2d              %d cycles, %d committed, %d rollbacks\n",
+				i, cs.Cycles, cs.Committed, cs.Rollbacks)
+		}
+	}
+	if expectRolls && st.Rollbacks == 0 {
+		log.Fatalf("expected at least one real rollback, saw none (%d probes, %d conflicts)",
+			st.Probes, st.Conflicts)
+	}
 }

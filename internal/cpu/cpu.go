@@ -121,6 +121,7 @@ type Stats struct {
 	BloomFalsePositives uint64 // Bloom hit without an SSB match (Figure 14)
 	DelayedPMEMOps      uint64 // PMEM instructions deferred to epoch commit
 	Rollbacks           uint64
+	RollbackCycles      uint64 // pipeline-refill penalty cycles charged by rollbacks
 
 	// Retirement-stall attribution: cycles in which retirement was cut
 	// short by a complete-but-blocked ROB head, by cause (the cycle may
@@ -190,6 +191,12 @@ type epoch struct {
 	barrierIssued bool
 	// remaining counts this epoch's entries still in the SSB.
 	remaining int
+	// draining marks that the commit engine has started popping this
+	// epoch's SSB entries. A rollback is no longer safe: the drained
+	// entries already reached the memory system, and re-executing the
+	// epoch would duplicate them. External probes are NACKed instead
+	// (directory retry) until the epoch finishes committing.
+	draining bool
 	// visibleMax tracks the completion time of drained entries.
 	visibleMax uint64
 	// checkpoints consumed by this epoch (1, or 2 with the collapse
@@ -198,8 +205,14 @@ type epoch struct {
 	// openedAt is the cycle the epoch opened (timeline recording).
 	openedAt uint64
 	// fetchPos is the trace position of the instruction following the
-	// checkpointed fence (for rollback).
+	// checkpointed fence (for rollback once the boundary pcommit has been
+	// issued — the barrier's effect is already in the commit stream).
 	fetchPos uint64
+	// barrierPos is the trace position of the boundary's first sfence.
+	// A rollback before the commit engine issues the boundary pcommit
+	// must resume here, so the barrier replays and its pcommit reaches
+	// the memory system exactly once.
+	barrierPos uint64
 }
 
 // CPU is the core model. Create with New, run a trace with Run.
@@ -248,7 +261,11 @@ type CPU struct {
 	// boundary recognition state while speculating: 0 none, 1 saw sfence,
 	// 2 saw sfence+pcommit.
 	boundaryState int
-	commitFree    uint64 // SSB drain port availability
+	// boundaryPos is the trace position of the sfence that opened the
+	// current boundary (boundaryState != 0); the epoch it finalizes into
+	// records it as its barrierPos.
+	boundaryPos uint64
+	commitFree  uint64 // SSB drain port availability
 
 	// lastStall records why the most recent retirement attempt blocked.
 	lastStall *uint64
@@ -256,10 +273,18 @@ type CPU struct {
 	// cycleHook, when non-nil, runs once per simulation step (differential
 	// harnesses use it to fire coherence probes at controlled points).
 	cycleHook func(*CPU)
+	// commitHook, when non-nil, observes every commit event as it happens
+	// (the multi-core harness turns committed stores into coherence probes
+	// against the other cores).
+	commitHook func(CommitEvent)
 	// commitLog, when enabled, records every architectural/durable effect
 	// in the order it reaches the memory system.
 	logCommits bool
 	commitLog  []CommitEvent
+
+	// idleSteps counts consecutive no-progress steps (deadlock detector);
+	// it lives on the CPU so step-wise drivers share the accounting.
+	idleSteps int
 
 	// Observability. tl is nil unless timeline recording was requested;
 	// the remaining fields track open spans (notIssued = no span open)
@@ -332,6 +357,7 @@ func (c *CPU) Register(r *obs.Registry) {
 	r.RegisterFunc("cpu.sp.entries", func() uint64 { return c.stats.SpecEntries })
 	r.RegisterFunc("cpu.sp.epochs", func() uint64 { return c.stats.SpecEpochs })
 	r.RegisterFunc("cpu.sp.rollbacks", func() uint64 { return c.stats.Rollbacks })
+	r.RegisterFunc("cpu.sp.rollback_cycles", func() uint64 { return c.stats.RollbackCycles })
 	r.RegisterFunc("cpu.sp.delayed_pmem_ops", func() uint64 { return c.stats.DelayedPMEMOps })
 	r.RegisterFunc("cpu.sp.ssb.forwards", func() uint64 { return c.stats.SSBForwards })
 	r.RegisterFunc("cpu.sp.ssb.full_stalls", func() uint64 { return c.stats.SSBFullStalls })
@@ -434,6 +460,11 @@ type CommitEvent struct {
 // it. The hook may call CoherenceProbe.
 func (c *CPU) OnCycle(fn func(*CPU)) { c.cycleHook = fn }
 
+// OnCommit installs fn to observe every commit event as it reaches the
+// memory system, independent of commit-log recording; nil removes it. The
+// hook must not re-enter the CPU.
+func (c *CPU) OnCommit(fn func(CommitEvent)) { c.commitHook = fn }
+
 // EnableCommitLog starts recording CommitEvents. Recording never changes
 // simulated timing.
 func (c *CPU) EnableCommitLog() { c.logCommits = true }
@@ -441,15 +472,23 @@ func (c *CPU) EnableCommitLog() { c.logCommits = true }
 // CommitLog returns the events recorded since EnableCommitLog.
 func (c *CPU) CommitLog() []CommitEvent { return c.commitLog }
 
-// logCommit appends one event when recording is on.
+// logCommit appends one event when recording is on and feeds the commit
+// hook when installed.
 func (c *CPU) logCommit(op isa.Op, addr uint64) {
 	if c.logCommits {
 		c.commitLog = append(c.commitLog, CommitEvent{Op: op, Addr: addr})
+	}
+	if c.commitHook != nil {
+		c.commitHook(CommitEvent{Op: op, Addr: addr})
 	}
 }
 
 // speculating reports whether any speculative epoch is live.
 func (c *CPU) speculating() bool { return len(c.epochs) > 0 }
+
+// Speculating reports whether any speculative epoch is live. External
+// coherence agents use it to decide whether a probe can possibly conflict.
+func (c *CPU) Speculating() bool { return c.speculating() }
 
 // buffering reports whether retired stores must route through the SSB:
 // during speculation, and afterwards while the SSB still drains (store

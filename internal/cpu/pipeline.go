@@ -10,31 +10,51 @@ import (
 // Run simulates the instruction stream to completion and returns the final
 // statistics.
 func (c *CPU) Run(src trace.Source) Stats {
-	c.src = src
-	c.srcDone = false
-	idleSteps := 0
-	for !c.finished() {
-		if c.cycleHook != nil {
-			c.cycleHook(c)
-		}
-		progress := false
-		progress = c.retire() || progress
-		progress = c.commitEngineStep() || progress
-		progress = c.drainStoreBuffer() || progress
-		progress = c.issue() || progress
-		progress = c.dispatch() || progress
-		progress = c.fetch() || progress
-		if progress {
-			c.now++
-			idleSteps = 0
-			continue
-		}
-		c.now = c.nextEvent()
-		if idleSteps++; idleSteps > 1<<24 {
-			panic("cpu: pipeline deadlock (no progress for 16M events)")
-		}
+	c.Start(src)
+	for c.Step() {
 	}
 	return c.Stats()
+}
+
+// Start binds the trace source without running it, for callers that drive
+// the core step by step (the multi-core harness interleaves several cores
+// by advancing whichever has the earliest Now).
+func (c *CPU) Start(src trace.Source) {
+	c.src = src
+	c.srcDone = false
+	c.idleSteps = 0
+}
+
+// Finished reports whether all pipeline and persistence state has drained.
+func (c *CPU) Finished() bool { return c.finished() }
+
+// Step advances the simulation by one unit of work: either one busy cycle,
+// or a jump to the next future event when no stage can make progress. It
+// returns false once the core is finished.
+func (c *CPU) Step() bool {
+	if c.finished() {
+		return false
+	}
+	if c.cycleHook != nil {
+		c.cycleHook(c)
+	}
+	progress := false
+	progress = c.retire() || progress
+	progress = c.commitEngineStep() || progress
+	progress = c.drainStoreBuffer() || progress
+	progress = c.issue() || progress
+	progress = c.dispatch() || progress
+	progress = c.fetch() || progress
+	if progress {
+		c.now++
+		c.idleSteps = 0
+		return true
+	}
+	c.now = c.nextEvent()
+	if c.idleSteps++; c.idleSteps > 1<<24 {
+		panic("cpu: pipeline deadlock (no progress for 16M events)")
+	}
+	return true
 }
 
 // finished reports whether all pipeline and persistence state has drained.
@@ -437,6 +457,13 @@ func (c *CPU) retirePcommit() bool {
 	return true
 }
 
+// retirePos returns the trace position of the instruction at the ROB head
+// (the one currently retiring): everything fetched minus everything still
+// queued behind or at it.
+func (c *CPU) retirePos() uint64 {
+	return c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob))
+}
+
 // retireFence handles sfence/mfence, including speculation entry and child
 // epoch boundaries.
 func (c *CPU) retireFence() bool {
@@ -446,6 +473,7 @@ func (c *CPU) retireFence() bool {
 		switch c.boundaryState {
 		case 0:
 			c.boundaryState = 1
+			c.boundaryPos = c.retirePos()
 			c.stats.Sfences++
 			return true
 		case 1:
@@ -457,6 +485,7 @@ func (c *CPU) retireFence() bool {
 				return false
 			}
 			c.boundaryState = 1
+			c.boundaryPos = c.retirePos()
 			c.stats.Sfences++
 			return true
 		case 2:
@@ -500,7 +529,11 @@ func (c *CPU) retireFence() bool {
 			waitUntil:   c.pcommitMax,
 			checkpoints: 1,
 			openedAt:    c.now,
-			fetchPos:    c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob)),
+			// The entry fence itself replays on rollback; it carries no
+			// unissued pcommit (the one it blocked on already issued), so
+			// both resume positions coincide.
+			fetchPos:   c.retirePos(),
+			barrierPos: c.retirePos(),
 		}
 		c.nextEpoch++
 		c.epochs = append(c.epochs, ep)

@@ -84,7 +84,8 @@ func (c *CPU) openChildEpoch(withPcommit bool) bool {
 		needsPcommit: withPcommit,
 		checkpoints:  need,
 		openedAt:     c.now,
-		fetchPos:     c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob)),
+		fetchPos:     c.retirePos(),
+		barrierPos:   c.boundaryPos,
 	}
 	c.nextEpoch++
 	c.epochs = append(c.epochs, ep)
@@ -140,6 +141,7 @@ func (c *CPU) commitEngineStep() bool {
 		if !ok || e.Epoch != head.id {
 			panic("cpu: SSB front does not belong to the committing epoch")
 		}
+		head.draining = true
 		c.ssb.Pop()
 		head.remaining--
 		c.drainEntry(e, head)
@@ -231,22 +233,68 @@ type Seeker interface {
 	Seek(pos uint64)
 }
 
-// CoherenceProbe models an external coherence request to addr (§4.2.2).
-// A hit in the BLT aborts speculation: all speculative state is discarded,
-// every checkpoint released, and execution restarts at the oldest
-// checkpoint. It returns true if a rollback happened. The trace source must
-// implement Seeker for rollback to be possible.
-func (c *CPU) CoherenceProbe(addr uint64) bool {
+// ProbeResult classifies a coherence probe's outcome at this core.
+type ProbeResult int
+
+const (
+	// ProbeMiss: no conflict — the core is not speculating, or the address
+	// does not hit the BLT. The probe proceeds normally.
+	ProbeMiss ProbeResult = iota
+	// ProbeDeferred: the address conflicts, but the oldest epoch has begun
+	// committing its SSB entries to the memory system and can no longer be
+	// squashed without duplicating committed effects. The directory must
+	// retry the probe (NACK); the requester stalls.
+	ProbeDeferred
+	// ProbeRollback: the conflict aborted speculation and the core rolled
+	// back to its oldest checkpoint.
+	ProbeRollback
+)
+
+// Probe models an external coherence request to addr (§4.2.2). A hit in
+// the BLT aborts speculation: all speculative state is discarded, every
+// checkpoint released, and execution restarts at the oldest checkpoint.
+// If the oldest epoch is already mid-commit (SSB entries partially
+// drained), the probe is deferred instead — the directory NACKs the
+// requester and retries once the epoch finishes committing. The trace
+// source must implement Seeker for rollback to be possible.
+func (c *CPU) Probe(addr uint64) ProbeResult {
 	if !c.spEnabled || !c.speculating() || !c.blt.Conflicts(addr) {
-		return false
+		return ProbeMiss
 	}
+	if c.epochs[0].draining {
+		return ProbeDeferred
+	}
+	c.rollback()
+	return ProbeRollback
+}
+
+// CoherenceProbe is Probe reduced to the rollback question; kept for
+// callers that fire probes at points where deferral cannot arise.
+func (c *CPU) CoherenceProbe(addr uint64) bool {
+	return c.Probe(addr) == ProbeRollback
+}
+
+// rollback squashes all speculative state and restarts execution at the
+// oldest checkpoint.
+func (c *CPU) rollback() {
 	seeker, ok := c.src.(Seeker)
 	if !ok {
 		panic("cpu: rollback requires a seekable trace source")
 	}
 	c.stats.Rollbacks++
+	c.stats.RollbackCycles += c.cfg.RollbackPenalty
 	c.tl.Instant(obs.TrackSpeculation, "sp.rollback", c.now)
 	oldest := c.epochs[0]
+	// Resume after the oldest epoch's barrier when its boundary pcommit
+	// has already been issued (re-running the barrier would duplicate it);
+	// otherwise at the barrier's first sfence, so the unissued pcommit
+	// replays and reaches the memory system exactly once. Younger epochs'
+	// boundaries are never issued out of order, so replaying everything
+	// from this position re-executes each of their effects exactly once.
+	resume := oldest.fetchPos
+	if oldest.needsPcommit && !oldest.barrierIssued {
+		resume = oldest.barrierPos
+	}
 	// Squash the pipeline and all speculative state.
 	for _, ep := range c.epochs {
 		for i := 0; i < ep.checkpoints; i++ {
@@ -263,8 +311,8 @@ func (c *CPU) CoherenceProbe(addr uint64) bool {
 	c.storeBuf = nil
 	clear(c.pendingReg)
 	clear(c.storesByLine)
-	seeker.Seek(oldest.fetchPos)
-	c.fetchPos = oldest.fetchPos
+	seeker.Seek(resume)
+	c.fetchPos = resume
 	c.srcDone = false
 	// Refill penalty, and hold stores/PMEM retirement until the pcommit
 	// the oldest epoch was speculating past completes (the fence it
@@ -273,5 +321,4 @@ func (c *CPU) CoherenceProbe(addr uint64) bool {
 	if c.pcommitMax > c.retireHoldTil {
 		c.retireHoldTil = c.pcommitMax
 	}
-	return true
 }

@@ -10,6 +10,7 @@ import (
 	"specpersist/internal/exec"
 	"specpersist/internal/isa"
 	"specpersist/internal/mem"
+	"specpersist/internal/multicore"
 	"specpersist/internal/pstruct"
 	"specpersist/internal/trace"
 	"specpersist/internal/txn"
@@ -29,49 +30,12 @@ import (
 // Returns nil when the streams match; an error describing the divergence
 // (or the failure to trigger a rollback) otherwise.
 func SPDifferential(structure string, seed int64, warmup, ops int) error {
-	p := DefaultPlan(structure, core.VariantLogPSf, seed)
-	if warmup > 0 {
-		p.Warmup = warmup
-	}
-	if ops <= 0 {
-		ops = 4
-	}
-
-	// Materialize the traced operations once; both machines replay the
-	// identical instruction stream.
-	var buf trace.Buffer
-	env := exec.New()
-	env.Level = exec.LevelFull
-	mgr := txn.NewManager(env, p.LogCapacity)
-	s := pstruct.Build(structure, env, mgr, p.config())
-	rng := rand.New(rand.NewSource(p.Seed))
-	for i := 0; i < p.Warmup; i++ {
-		s.Apply(uint64(rng.Intn(p.Keyspace)))
-	}
-	env.M.PersistAll()
-	env.SetBuilder(trace.NewBuilder(&buf))
-	for i := 0; i < ops; i++ {
-		s.Apply(uint64(rng.Intn(p.Keyspace)))
-	}
-	env.SetBuilder(nil)
-
-	// Candidate probe lines: anything the trace stores to can collide with
-	// an external coherence request while buffered speculatively.
-	var candidates []uint64
-	seen := make(map[uint64]bool)
-	for _, in := range buf.Instrs() {
-		if in.Op == isa.Store {
-			if l := mem.LineAddr(in.Addr); !seen[l] {
-				seen[l] = true
-				candidates = append(candidates, l)
-			}
-		}
-	}
+	buf, candidates := materializeTrace(structure, seed, warmup, ops)
 
 	baseSys := core.New(core.VariantLogPSf)
 	baseSys.CPU.EnableCommitLog()
 	buf.Rewind()
-	baseSys.Run(&buf)
+	baseSys.Run(buf)
 	baseLog := baseSys.CPU.CommitLog()
 
 	spSys := core.New(core.VariantSP)
@@ -93,7 +57,7 @@ func SPDifferential(structure string, seed int64, warmup, ops int) error {
 		}
 	})
 	buf.Rewind()
-	spStats := spSys.Run(&buf)
+	spStats := spSys.Run(buf)
 	if spStats.Rollbacks == 0 {
 		return fmt.Errorf("fault: SP differential %s: no rollback was triggered (%d speculation entries)",
 			structure, spStats.SpecEntries)
@@ -101,6 +65,101 @@ func SPDifferential(structure string, seed int64, warmup, ops int) error {
 	if err := compareCommitLogs(baseLog, spSys.CPU.CommitLog()); err != nil {
 		return fmt.Errorf("fault: SP differential %s (after %d rollbacks): %w",
 			structure, spStats.Rollbacks, err)
+	}
+	return nil
+}
+
+// materializeTrace functionally executes the structure's operation stream
+// once and returns the traced measured phase plus the distinct store lines
+// it touches (the candidate conflict surface).
+func materializeTrace(structure string, seed int64, warmup, ops int) (*trace.Buffer, []uint64) {
+	p := DefaultPlan(structure, core.VariantLogPSf, seed)
+	if warmup > 0 {
+		p.Warmup = warmup
+	}
+	if ops <= 0 {
+		ops = 4
+	}
+	buf := &trace.Buffer{}
+	env := exec.New()
+	env.Level = exec.LevelFull
+	mgr := txn.NewManager(env, p.LogCapacity)
+	s := pstruct.Build(structure, env, mgr, p.config())
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < p.Warmup; i++ {
+		s.Apply(uint64(rng.Intn(p.Keyspace)))
+	}
+	env.M.PersistAll()
+	env.SetBuilder(trace.NewBuilder(buf))
+	for i := 0; i < ops; i++ {
+		s.Apply(uint64(rng.Intn(p.Keyspace)))
+	}
+	env.SetBuilder(nil)
+
+	// Candidate probe lines: anything the trace stores to can collide with
+	// an external coherence request while buffered speculatively.
+	var candidates []uint64
+	seen := make(map[uint64]bool)
+	for _, in := range buf.Instrs() {
+		if in.Op == isa.Store {
+			if l := mem.LineAddr(in.Addr); !seen[l] {
+				seen[l] = true
+				candidates = append(candidates, l)
+			}
+		}
+	}
+	return buf, candidates
+}
+
+// SPDifferentialReal is SPDifferential with the probes produced by the
+// multi-core conflict engine instead of the test scaffold's forced hook:
+// a second core runs an adversary trace that stores to the workload's own
+// lines, and the directory converts those committed stores into real
+// coherence probes against the workload core's BLT — including the NACK
+// path when a conflicting epoch is already mid-commit. The workload core's
+// effect stream must still match the plain machine's.
+func SPDifferentialReal(structure string, seed int64, warmup, ops int) error {
+	buf, candidates := materializeTrace(structure, seed, warmup, ops)
+
+	baseSys := core.New(core.VariantLogPSf)
+	baseSys.CPU.EnableCommitLog()
+	buf.Rewind()
+	baseStats := baseSys.Run(buf)
+	baseLog := baseSys.CPU.CommitLog()
+
+	// Adversary stream: repeated store sweeps over the workload's lines,
+	// paced by short ALU chains so probes spread across the whole run. It
+	// has no fences, so the adversary core never speculates — its stores
+	// drain through the normal store buffer and probe as they commit.
+	// Sized from the baseline's cycle count (the SP run is shorter) so
+	// probe traffic covers every speculation window of the workload core.
+	adv := &trace.Buffer{}
+	bld := trace.NewBuilder(adv)
+	perRound := uint64(64 * (len(candidates) + 1))
+	rounds := int(2*baseStats.Cycles/perRound) + 2
+	for r := 0; r < rounds; r++ {
+		for _, line := range candidates {
+			v := bld.ALU(0)
+			for i := 0; i < 63; i++ {
+				v = bld.ALU(0, v)
+			}
+			bld.Store(line, 8, v, isa.NoReg)
+		}
+	}
+
+	cfg := multicore.DefaultConfig()
+	cfg.Cores = 2
+	sim := multicore.New(cfg)
+	sim.Core(0).EnableCommitLog()
+	buf.Rewind()
+	stats := sim.Run([]trace.Source{buf, adv})
+	if stats.Rollbacks == 0 {
+		return fmt.Errorf("fault: SP real-probe differential %s: no rollback was triggered (%d probes, %d conflicts)",
+			structure, stats.Probes, stats.Conflicts)
+	}
+	if err := compareCommitLogs(baseLog, sim.Core(0).CommitLog()); err != nil {
+		return fmt.Errorf("fault: SP real-probe differential %s (after %d rollbacks, %d deferred): %w",
+			structure, stats.Rollbacks, stats.Deferred, err)
 	}
 	return nil
 }

@@ -20,3 +20,23 @@ func TestSPDifferential(t *testing.T) {
 		})
 	}
 }
+
+// TestSPDifferentialReal runs the same contract against rollbacks produced
+// by the multi-core conflict engine's real probe path (an adversary core
+// storing to the workload's lines), instead of the forced hook. This is
+// the differential that exercises the mid-commit NACK window: probes that
+// land while an epoch is draining must defer, not corrupt the stream.
+func TestSPDifferentialReal(t *testing.T) {
+	structures := []string{"LL", "HM"}
+	if testing.Short() {
+		structures = structures[:1]
+	}
+	for _, s := range structures {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			if err := SPDifferentialReal(s, 7, 30, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package multicore
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestDeterminismAcrossWorkers runs the same seeded multi-core workload on
+// several concurrent goroutines (each with its own Sim — the simulator is
+// single-threaded per machine) and requires byte-identical commit logs and
+// metrics snapshots from every worker. Under -race this also proves the
+// harness shares no mutable state between machine instances.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	w := sharedWorkload()
+	for _, workers := range []int{1, 4} {
+		results := make([]RunResult, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = RunWorkload(w, DefaultConfig())
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("worker %d: %v", i, err)
+			}
+		}
+		ref := results[0]
+		refMetrics, err := json.Marshal(ref.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.CommitLogs) != w.Cores {
+			t.Fatalf("want %d commit logs, got %d", w.Cores, len(ref.CommitLogs))
+		}
+		for _, log := range ref.CommitLogs {
+			if len(log) == 0 {
+				t.Fatal("empty commit log: commit recording not enabled")
+			}
+		}
+		for i := 1; i < workers; i++ {
+			if !reflect.DeepEqual(results[i].CommitLogs, ref.CommitLogs) {
+				t.Fatalf("worker %d commit logs diverge from worker 0", i)
+			}
+			m, err := json.Marshal(results[i].Metrics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(m) != string(refMetrics) {
+				t.Fatalf("worker %d metrics snapshot diverges from worker 0", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package multicore is the deterministic N-core conflict engine: it
+// interleaves several cpu.CPU instances over a shared memory backend and
+// turns each core's committed stores into coherence probes against every
+// other core's BLT, so conflicting speculative epochs genuinely roll back
+// (§4.2.2) instead of only under the fault harness's forced probe.
+//
+// Model shape and fidelity:
+//
+//   - Cores are stepped round-robin by earliest Now() (lowest index breaks
+//     ties), which keeps the analytic memory controller's requirement that
+//     requests arrive in non-decreasing time order while sharing one
+//     controller (one WPQ, one pcommit drain domain) across all cores.
+//   - Each core keeps a private cache hierarchy; sharing is modeled at the
+//     backend plus a directory-style filter that forwards a committed
+//     store's address only to cores currently speculating — exactly the
+//     cores whose BLT could hit. Remote loads do not probe (write-invalidate
+//     only), a simplification noted in EXPERIMENTS.md.
+//   - A probe that hits a BLT while the target's oldest epoch is already
+//     mid-commit cannot abort it (the drained SSB entries have reached the
+//     memory system); the directory NACKs and retries the probe before the
+//     target's next step, matching cpu.ProbeDeferred.
+package multicore
+
+import (
+	"fmt"
+
+	"specpersist/internal/cache"
+	"specpersist/internal/core"
+	"specpersist/internal/cpu"
+	"specpersist/internal/isa"
+	"specpersist/internal/memctl"
+	"specpersist/internal/obs"
+	"specpersist/internal/trace"
+)
+
+// Config assembles an N-core machine. Every core gets an identical copy of
+// Options (the single-core Table 2 machine, typically with SP hardware).
+type Config struct {
+	Cores   int
+	Options core.Options
+	// Timeline, when non-nil, records coherence probe events (and each
+	// core's component events) for the whole machine.
+	Timeline *obs.Timeline
+}
+
+// DefaultConfig returns a 2-core SP machine at the Table 2 design point.
+func DefaultConfig() Config {
+	o := core.DefaultOptions()
+	o.CPU.SP = cpu.DefaultSPConfig()
+	return Config{Cores: 2, Options: o}
+}
+
+// Stats aggregates the conflict engine's counters plus each core's stats.
+type Stats struct {
+	Probes         uint64 // store addresses offered to the directory filter
+	Filtered       uint64 // probe deliveries skipped (target not speculating)
+	Delivered      uint64 // probes delivered to a core's BLT
+	Conflicts      uint64 // deliveries that hit a BLT (rollback or deferral)
+	Deferred       uint64 // conflicts NACKed at least once (target mid-commit)
+	Rollbacks      uint64 // conflicts that aborted speculation
+	RollbackCycles uint64 // refill penalty cycles charged by those rollbacks
+
+	PerCore []cpu.Stats
+}
+
+// deferredProbe is a NACKed conflict awaiting retry at its target.
+type deferredProbe struct {
+	addr    uint64
+	firstAt uint64 // target-core cycle of the first (NACKed) delivery
+}
+
+// coreState is one simulated core plus its harness-side bookkeeping.
+type coreState struct {
+	cpu  *cpu.CPU
+	h    *cache.Hierarchy
+	reg  *obs.Registry
+	src  trace.Source
+	done bool
+
+	deferred   []deferredProbe
+	deferredAt map[uint64]struct{} // addrs present in deferred
+}
+
+// Sim is the N-core harness. Build with New, attach trace sources with
+// SetSource (or pass them to Run), then Run to completion.
+type Sim struct {
+	cfg   Config
+	mc    memctl.Memory
+	cores []*coreState
+	tl    *obs.Timeline
+	reg   *obs.Registry // multicore.* counters + shared backend
+
+	stats Stats
+}
+
+// New assembles the machine: one shared memory controller, and per core a
+// private cache hierarchy and CPU with its own metric registry.
+func New(cfg Config) *Sim {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("multicore: core count must be positive, got %d", cfg.Cores))
+	}
+	var mc memctl.Memory
+	if cfg.Options.Controllers > 1 {
+		mc = memctl.NewMulti(cfg.Options.Controllers, cfg.Options.Mem)
+	} else {
+		mc = memctl.New(cfg.Options.Mem)
+	}
+	mc.SetTimeline(cfg.Timeline)
+	s := &Sim{cfg: cfg, mc: mc, tl: cfg.Timeline, reg: obs.NewRegistry()}
+	for i := 0; i < cfg.Cores; i++ {
+		h := cache.New(cfg.Options.Cache, mc)
+		c := cpu.New(cfg.Options.CPU, h, mc)
+		c.SetTimeline(cfg.Timeline)
+		reg := obs.NewRegistry()
+		c.Register(reg)
+		h.Register(reg)
+		cs := &coreState{cpu: c, h: h, reg: reg, deferredAt: make(map[uint64]struct{})}
+		s.cores = append(s.cores, cs)
+	}
+	mc.Register(s.reg)
+	s.registerCounters()
+	// Each core's committed stores become probe traffic at every other
+	// core (write-invalidate coherence at commit time).
+	for i, cs := range s.cores {
+		src := i
+		cs.cpu.OnCommit(func(e cpu.CommitEvent) {
+			if e.Op == isa.Store {
+				s.probeFrom(src, e.Addr)
+			}
+		})
+	}
+	return s
+}
+
+func (s *Sim) registerCounters() {
+	s.reg.RegisterFunc("multicore.cores", func() uint64 { return uint64(len(s.cores)) })
+	s.reg.RegisterFunc("multicore.probes", func() uint64 { return s.stats.Probes })
+	s.reg.RegisterFunc("multicore.probes_filtered", func() uint64 { return s.stats.Filtered })
+	s.reg.RegisterFunc("multicore.probes_delivered", func() uint64 { return s.stats.Delivered })
+	s.reg.RegisterFunc("multicore.conflicts", func() uint64 { return s.stats.Conflicts })
+	s.reg.RegisterFunc("multicore.deferred", func() uint64 { return s.stats.Deferred })
+	s.reg.RegisterFunc("multicore.rollbacks", func() uint64 { return s.stats.Rollbacks })
+	s.reg.RegisterFunc("multicore.rollback_cycles", func() uint64 { return s.stats.RollbackCycles })
+}
+
+// Cores returns the core count.
+func (s *Sim) Cores() int { return len(s.cores) }
+
+// Core returns core i's CPU (tests and the fault harness inspect it).
+func (s *Sim) Core(i int) *cpu.CPU { return s.cores[i].cpu }
+
+// Registry returns core i's metric registry, so callers can fold in the
+// core's functional layers (pmem model, transaction manager) before Run.
+func (s *Sim) Registry(i int) *obs.Registry { return s.cores[i].reg }
+
+// probeFrom offers a committed store's address to every other core. The
+// directory filter skips cores that are not speculating: their BLT cannot
+// hit (cpu.Probe would report ProbeMiss), so the skip is lossless.
+func (s *Sim) probeFrom(src int, addr uint64) {
+	s.stats.Probes++
+	for i, cs := range s.cores {
+		if i == src || cs.done {
+			continue
+		}
+		if !cs.cpu.Speculating() {
+			s.stats.Filtered++
+			continue
+		}
+		if _, pending := cs.deferredAt[addr]; pending {
+			// An earlier probe for this line is already NACKed at this
+			// core; the directory is still retrying it.
+			continue
+		}
+		s.stats.Delivered++
+		s.deliver(cs, addr, true)
+	}
+}
+
+// deliver probes one core and books the outcome. first marks an original
+// delivery (counts a conflict); retries of NACKed probes pass false.
+func (s *Sim) deliver(cs *coreState, addr uint64, first bool) {
+	switch cs.cpu.Probe(addr) {
+	case cpu.ProbeMiss:
+		// On first delivery: no conflict. On retry: the conflicting epoch
+		// committed before the retry landed; the probe proceeds normally.
+	case cpu.ProbeRollback:
+		if first {
+			s.stats.Conflicts++
+		}
+		s.stats.Rollbacks++
+		s.stats.RollbackCycles += s.cfg.Options.CPU.RollbackPenalty
+		s.tl.Instant(obs.TrackCoherence, "probe.rollback", cs.cpu.Now())
+	case cpu.ProbeDeferred:
+		if first {
+			s.stats.Conflicts++
+			s.stats.Deferred++
+			s.tl.Instant(obs.TrackCoherence, "probe.nack", cs.cpu.Now())
+		}
+		cs.deferred = append(cs.deferred, deferredProbe{addr: addr, firstAt: cs.cpu.Now()})
+		cs.deferredAt[addr] = struct{}{}
+	}
+}
+
+// retryDeferred re-delivers NACKed probes before the core steps again.
+func (s *Sim) retryDeferred(cs *coreState) {
+	if len(cs.deferred) == 0 {
+		return
+	}
+	pending := cs.deferred
+	cs.deferred = nil
+	clear(cs.deferredAt)
+	for _, p := range pending {
+		s.tl.Span(obs.TrackCoherence, "probe.deferred", p.firstAt, cs.cpu.Now())
+		s.deliver(cs, p.addr, false)
+	}
+}
+
+// SetSource binds core i's trace source. Sources must implement cpu.Seeker
+// (e.g. *trace.Buffer) for rollbacks to be possible.
+func (s *Sim) SetSource(i int, src trace.Source) { s.cores[i].src = src }
+
+// Run simulates every core to completion, interleaved by earliest Now()
+// (ties go to the lowest core index — fully deterministic). srcs, when
+// non-nil, binds one source per core first.
+func (s *Sim) Run(srcs []trace.Source) Stats {
+	if srcs != nil {
+		if len(srcs) != len(s.cores) {
+			panic(fmt.Sprintf("multicore: %d sources for %d cores", len(srcs), len(s.cores)))
+		}
+		for i, src := range srcs {
+			s.cores[i].src = src
+		}
+	}
+	for i, cs := range s.cores {
+		if cs.src == nil {
+			panic(fmt.Sprintf("multicore: core %d has no trace source", i))
+		}
+		cs.cpu.Start(cs.src)
+		cs.done = false
+	}
+	for {
+		var pick *coreState
+		for _, cs := range s.cores {
+			if cs.done {
+				continue
+			}
+			if pick == nil || cs.cpu.Now() < pick.cpu.Now() {
+				pick = cs
+			}
+		}
+		if pick == nil {
+			break
+		}
+		s.retryDeferred(pick)
+		if !pick.cpu.Step() {
+			pick.done = true
+			// Anything still NACKed resolves trivially: the core is no
+			// longer speculating, so the retried probes would all miss.
+			pick.deferred = nil
+			clear(pick.deferredAt)
+		}
+	}
+	return s.Stats()
+}
+
+// Stats returns the conflict-engine counters plus per-core CPU stats.
+func (s *Sim) Stats() Stats {
+	st := s.stats
+	st.PerCore = make([]cpu.Stats, len(s.cores))
+	for i, cs := range s.cores {
+		st.PerCore[i] = cs.cpu.Stats()
+	}
+	return st
+}
+
+// Metrics snapshots the whole machine: the shared backend and multicore.*
+// counters under their canonical keys, and each core's counters prefixed
+// "coreN." (e.g. "core0.cpu.sp.rollbacks").
+func (s *Sim) Metrics() obs.Snapshot {
+	out := s.reg.Snapshot()
+	for i, cs := range s.cores {
+		prefix := fmt.Sprintf("core%d.", i)
+		for k, v := range cs.reg.Snapshot() {
+			out[prefix+k] = v
+		}
+	}
+	return out
+}

@@ -132,4 +132,5 @@ const (
 	TrackPMEM        = "pmem"        // pcommit drains
 	TrackMemctl      = "memctl"      // WPQ stalls and occupancy
 	TrackSSB         = "ssb"         // speculative store buffer occupancy
+	TrackCoherence   = "coherence"   // cross-core probe traffic (multicore)
 )

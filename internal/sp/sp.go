@@ -284,10 +284,14 @@ func (b *BLT) Conflicts(addr uint64) bool {
 // Len returns the live block count.
 func (b *BLT) Len() int { return len(b.blocks) }
 
-// Max returns the size high-water mark.
+// Max returns the lifetime size high-water mark: the largest speculative
+// footprint any single speculation episode reached. It deliberately
+// survives Reset — the figure the paper sizes the table from is the
+// worst case across a whole run, not one episode — so it only ever grows.
 func (b *BLT) Max() int { return b.max }
 
-// Reset clears the table (speculation ended or rolled back).
+// Reset clears the live block set (speculation ended or rolled back). The
+// Max high-water mark is NOT cleared; see Max.
 func (b *BLT) Reset() { clear(b.blocks) }
 
 // String summarizes the table for debugging.

@@ -22,7 +22,10 @@ import (
 //
 // v3: the pmem registry gained the "pmem.torn_lines" key, so v2 snapshots
 // have a different key set than the current model produces.
-const schemaVersion = 3
+//
+// v4: the SP registry gained "cpu.sp.rollback_cycles", so v3 SP snapshots
+// have a different key set than the current model produces.
+const schemaVersion = 4
 
 // DefaultCacheDir is where sweeps cache results unless told otherwise.
 const DefaultCacheDir = ".sweepcache"

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"specpersist/internal/isa"
+)
+
+// fuzzSeed encodes a valid trace for the fuzz corpus.
+func fuzzSeed(instrs []isa.Instr) []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for _, in := range instrs {
+		w.Emit(in)
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTraceFile feeds arbitrary bytes to the binary trace reader. The
+// reader must never panic and must terminate; any input it accepts
+// cleanly must round-trip — re-encoding the decoded instructions and
+// decoding again yields the identical instruction sequence.
+func FuzzTraceFile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(fileMagic))
+	f.Add([]byte(fileMagic + "\x01"))
+	f.Add([]byte("NOTATRACE"))
+	f.Add(fuzzSeed(nil))
+	f.Add(fuzzSeed([]isa.Instr{
+		{Op: isa.ALU, Lat: 1, Dst: 1},
+		{Op: isa.Store, Addr: 0x1040, Size: 8, Src1: 1},
+		{Op: isa.Clwb, Addr: 0x1040},
+		{Op: isa.Sfence},
+		{Op: isa.Pcommit},
+		{Op: isa.Sfence},
+		{Op: isa.Load, Addr: 0x2000, Size: 8, Dst: 2, Lat: 4},
+	}))
+	// Address deltas that stress the zigzag encoding's extremes.
+	f.Add(fuzzSeed([]isa.Instr{
+		{Op: isa.Store, Addr: 0, Size: 1},
+		{Op: isa.Store, Addr: ^uint64(0), Size: 1},
+		{Op: isa.Store, Addr: 1 << 63, Size: 1},
+		{Op: isa.Store, Addr: 42, Size: 1},
+	}))
+	// Truncated record: valid header + a partial instruction.
+	f.Add(append([]byte(fileMagic+"\x01"), byte(isa.Store), 8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header — fine, as long as it didn't panic
+		}
+		var got []isa.Instr
+		for {
+			in, ok := r.Next()
+			if !ok {
+				break
+			}
+			got = append(got, in)
+		}
+		// Next must stay terminated once the stream ends.
+		if _, ok := r.Next(); ok {
+			t.Fatal("Next returned an instruction after stream end")
+		}
+		if r.Err() != nil {
+			return // decode error mid-stream — fine, as long as it terminated
+		}
+		// Clean decode: re-encode and decode again; the instruction
+		// sequences must match exactly.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		for _, in := range got {
+			w.Emit(in)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		r2, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode header: %v", err)
+		}
+		for i, want := range got {
+			in, ok := r2.Next()
+			if !ok {
+				t.Fatalf("re-decode ended at record %d of %d (err: %v)", i, len(got), r2.Err())
+			}
+			if in != want {
+				t.Fatalf("record %d round-trip mismatch: got %+v want %+v", i, in, want)
+			}
+		}
+		if in, ok := r2.Next(); ok {
+			t.Fatalf("re-decode produced extra record %+v", in)
+		}
+		if err := r2.Err(); err != nil {
+			t.Fatalf("re-decode error: %v", err)
+		}
+	})
+}
