@@ -9,6 +9,7 @@
 //	figures -scale 0.05      # bigger runs (1.0 = paper-scale op counts)
 //	figures -j 8             # run simulations on 8 workers
 //	figures -cache .sweepcache  # reuse completed runs across invocations
+//	figures -latency -only   # storage-server throughput-latency sweep
 //
 // The simulations behind each figure execute through the internal/sweep
 // engine: -j parallelizes them and -cache memoizes them on disk, and the
@@ -25,6 +26,7 @@ import (
 	"specpersist/internal/core"
 	"specpersist/internal/multicore"
 	"specpersist/internal/report"
+	"specpersist/internal/service"
 	"specpersist/internal/sweep"
 	"specpersist/internal/workload"
 )
@@ -46,6 +48,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "report per-simulation progress on stderr")
 		stalls    = flag.Bool("stalls", false, "print per-benchmark stall attribution (Log+P+Sf and SP)")
 		conflicts = flag.Bool("conflicts", false, "print the multi-core conflict-sensitivity table (real BLT probes)")
+		latency   = flag.Bool("latency", false, "print the storage-server throughput-latency sweep (open-loop arrivals, group commit)")
 	)
 	flag.Parse()
 
@@ -137,5 +140,25 @@ func main() {
 	}
 	if *conflicts {
 		emit("conflicts", func() *report.Table { return multicore.ConflictTable(*seed) })
+	}
+	if *latency {
+		sc := service.DefaultSweepConfig()
+		sc.Base.Seed = *seed
+		sc.Workers = *jobs
+		points, err := service.LatencySweep(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("latency", func() *report.Table { return service.LatencyTable(points) })
+		emit("latency-slo", func() *report.Table { return service.SLOTable(points) })
+		if *chart {
+			for _, b := range sc.Batches {
+				for _, n := range sc.Cores {
+					fmt.Println(service.ThroughputLatencyCurve(points, b, n).String())
+				}
+			}
+			midRate := sc.Rates[len(sc.Rates)/2]
+			fmt.Println(service.LatencyCDFChart(points, midRate, sc.Batches[0], sc.Cores[0]).String())
+		}
 	}
 }

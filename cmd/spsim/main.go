@@ -7,6 +7,7 @@
 //	spsim -bench LL -variant SP -json      # machine-readable output
 //	spsim -bench BT -variant SP -timeline out.json  # Chrome trace
 //	spsim -cores 4 -bench HM -mc-frac 1.0  # multi-core conflict engine
+//	spsim -service -rate 300 -batch 8      # storage-server simulation
 //	spsim -list                            # enumerate benchmarks and variants
 //
 // Benchmarks: GH HM LL SS AT BT RT (paper Table 1).
@@ -17,6 +18,12 @@
 // probing the others' BLTs (§4.2.2), with the -mc-* flags dialing the
 // conflict rate. -expect-rollbacks makes the exit status assert that at
 // least one real coherence rollback occurred (CI smoke).
+//
+// With -service the run switches to the storage-server simulation
+// (internal/service): seeded open-loop arrivals at -rate requests per
+// million cycles against the -bench structure, a bounded FIFO per shard
+// (-cores shards), optional group commit (-batch, -batch-deadline), and
+// per-request durable-commit latency percentiles.
 //
 // The -timeline file is Chrome trace_event JSON: load it at
 // chrome://tracing or https://ui.perfetto.dev (1 cycle renders as 1 µs).
@@ -76,7 +83,21 @@ func main() {
 		tlCap     = flag.Int("timeline-cap", obs.DefaultTimelineCap, "timeline ring-buffer capacity (events)")
 		listOnly  = flag.Bool("list", false, "list valid benchmarks and variants, then exit")
 
-		cores       = flag.Int("cores", 0, "run the multi-core conflict engine with this many SP cores (0 = single-core)")
+		serviceMode = flag.Bool("service", false, "run the storage-server simulation (open-loop arrivals, group commit, tail latency)")
+		svcRate     = flag.Float64("rate", 50, "service: offered load in requests per million cycles")
+		svcProcess  = flag.String("process", "poisson", "service: arrival process (poisson, bursty)")
+		svcBFrac    = flag.Float64("burst-frac", 0, "service: bursty ON fraction of each period (0 = default 0.25)")
+		svcBPeriod  = flag.Int64("burst-period", 0, "service: bursty ON+OFF period in cycles (0 = default 32768)")
+		svcReqs     = flag.Int("requests", 0, "service: offered request count (0 = default 256)")
+		svcWarmup   = flag.Int("warmup", 128, "service: functional warmup operations per shard")
+		svcQueue    = flag.Int("queue-cap", 0, "service: per-shard FIFO bound (0 = default 64)")
+		svcBatch    = flag.Int("batch", 1, "service: group-commit limit K (1 = no grouping)")
+		svcDeadline = flag.Int64("batch-deadline", 0, "service: cycles the queue head waits for co-batching")
+		svcGetFrac  = flag.Float64("get-frac", 0.25, "service: fraction of read-only get requests")
+		svcKeyspace = flag.Int("keyspace", 0, "service: request key range (0 = default 128)")
+		svcLogCap   = flag.Int("log-cap", 0, "service: per-shard undo-log capacity (0 = structure default)")
+
+		cores       = flag.Int("cores", 0, "run the multi-core conflict engine with this many SP cores (0 = single-core); with -service, the shard count")
 		mcFrac      = flag.Float64("mc-frac", 0.5, "multicore: probability an op is a shared-table RMW (conflict dial)")
 		mcShared    = flag.Int("mc-shared-lines", 4, "multicore: shared-table lines per core")
 		mcOps       = flag.Int("mc-ops", 48, "multicore: measured ops per core")
@@ -88,6 +109,33 @@ func main() {
 
 	if *listOnly {
 		list()
+		return
+	}
+
+	if *serviceMode {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		runService(serviceOptions{
+			Structure:   *benchName,
+			Variant:     *variant,
+			Cores:       *cores,
+			Rate:        *svcRate,
+			Process:     *svcProcess,
+			BurstFrac:   *svcBFrac,
+			BurstPeriod: *svcBPeriod,
+			Requests:    *svcReqs,
+			Warmup:      *svcWarmup,
+			QueueCap:    *svcQueue,
+			Batch:       *svcBatch,
+			Deadline:    *svcDeadline,
+			GetFrac:     *svcGetFrac,
+			Keyspace:    *svcKeyspace,
+			Overhead:    *overhead,
+			LogCap:      *svcLogCap,
+			Seed:        *seed,
+			SSB:         *ssb,
+			SetFlags:    set,
+		}, *jsonOut, *timeline, *tlCap)
 		return
 	}
 

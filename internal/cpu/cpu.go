@@ -321,6 +321,21 @@ func New(cfg Config, h *cache.Hierarchy, mc memctl.Memory) *CPU {
 // Now returns the current cycle.
 func (c *CPU) Now() uint64 { return c.now }
 
+// AdvanceTo moves the core's clock forward to the given cycle; cycles in
+// the past are a no-op. It is only valid while the core is quiescent (no
+// in-flight pipeline or persistence state): the service harness uses it to
+// model idle time between request arrivals, and advancing a busy core would
+// let queued work complete in zero time.
+func (c *CPU) AdvanceTo(cycle uint64) {
+	if len(c.fetchQ) > 0 || len(c.rob) > 0 || len(c.storeBuf) > 0 ||
+		(c.spEnabled && (len(c.epochs) > 0 || c.ssb.Len() > 0)) {
+		panic("cpu: AdvanceTo while the pipeline is busy")
+	}
+	if cycle > c.now {
+		c.now = cycle
+	}
+}
+
 // Config returns the core's configuration.
 func (c *CPU) Config() Config { return c.cfg }
 

@@ -23,6 +23,10 @@ func (c *CPU) Start(src trace.Source) {
 	c.src = src
 	c.srcDone = false
 	c.idleSteps = 0
+	// Fetch position is relative to the bound source. A core restarted on
+	// a fresh (or Reset) source must not carry the previous stream's
+	// cumulative count: rollback uses these positions to Seek.
+	c.fetchPos = 0
 }
 
 // Finished reports whether all pipeline and persistence state has drained.

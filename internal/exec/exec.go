@@ -71,6 +71,16 @@ type Env struct {
 	Hook func()
 
 	pendingClwb []uint64 // clwbs not yet ordered (adversary mode)
+
+	// Group-commit support (internal/service): while coalescing is on,
+	// PersistBarrier defers its sfence–pcommit–sfence trio instead of
+	// emitting it, and FlushBarriers later closes the batch with a single
+	// real trio. Writes and flushes are unaffected — only the ordering
+	// points amortize, which is exactly the loose-ordering lever the
+	// service layer measures against speculation.
+	coalesce      bool
+	deferredTrios uint64 // barriers elided since coalescing was enabled
+	pendingTrio   bool   // a deferred barrier awaits the next FlushBarriers
 }
 
 // hook invokes the injection hook if installed.
@@ -233,7 +243,36 @@ func (e *Env) Sfence() {
 
 // PersistBarrier issues the paper's sfence–pcommit–sfence sequence that
 // makes all previously written-back lines durable before any later store.
+// Under barrier coalescing the trio is deferred until FlushBarriers.
 func (e *Env) PersistBarrier() {
+	if e.coalesce {
+		e.deferredTrios++
+		e.pendingTrio = true
+		return
+	}
+	e.Sfence()
+	e.Pcommit()
+	e.Sfence()
+}
+
+// SetBarrierCoalescing switches group-commit mode on or off. While on,
+// every PersistBarrier is deferred; call FlushBarriers at each batch
+// boundary to issue the one amortized barrier.
+func (e *Env) SetBarrierCoalescing(on bool) { e.coalesce = on }
+
+// DeferredBarriers reports how many PersistBarrier trios coalescing has
+// elided so far (the service layer publishes it as a counter).
+func (e *Env) DeferredBarriers() uint64 { return e.deferredTrios }
+
+// FlushBarriers closes a group-commit batch: if any barrier was deferred
+// since the previous flush, it issues one real sfence–pcommit–sfence trio
+// covering the whole batch. A batch that deferred nothing (e.g. all reads)
+// issues nothing.
+func (e *Env) FlushBarriers() {
+	if !e.pendingTrio {
+		return
+	}
+	e.pendingTrio = false
 	e.Sfence()
 	e.Pcommit()
 	e.Sfence()

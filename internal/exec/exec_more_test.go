@@ -74,3 +74,46 @@ func TestPersistBarrierCountsAsOnePcommit(t *testing.T) {
 		t.Errorf("barrier stats: %+v", st)
 	}
 }
+
+// TestBarrierCoalescing covers the group-commit primitive: while
+// coalescing is on, PersistBarrier defers its trio; FlushBarriers issues
+// exactly one real trio per batch that deferred anything, and an all-read
+// batch issues nothing.
+func TestBarrierCoalescing(t *testing.T) {
+	e := New()
+	addr := e.AllocLines(1)
+	e.SetBarrierCoalescing(true)
+
+	for i := 0; i < 4; i++ {
+		e.StoreU64(addr, uint64(i), isa.NoReg, isa.NoReg)
+		e.Clwb(addr)
+		e.PersistBarrier()
+	}
+	if st := e.M.Stats(); st.Pcommits != 0 || st.Sfences != 0 {
+		t.Fatalf("deferred barriers reached the device: %+v", st)
+	}
+	if got := e.DeferredBarriers(); got != 4 {
+		t.Fatalf("DeferredBarriers = %d, want 4", got)
+	}
+
+	e.FlushBarriers()
+	if st := e.M.Stats(); st.Pcommits != 1 || st.Sfences != 2 {
+		t.Fatalf("flush must issue one trio, got %+v", st)
+	}
+	// A batch with no deferred barrier issues nothing.
+	e.FlushBarriers()
+	if st := e.M.Stats(); st.Pcommits != 1 {
+		t.Fatalf("empty flush issued a pcommit: %+v", st)
+	}
+
+	// Coalescing off: PersistBarrier is immediate again and the deferred
+	// count stops moving.
+	e.SetBarrierCoalescing(false)
+	e.PersistBarrier()
+	if st := e.M.Stats(); st.Pcommits != 2 {
+		t.Fatalf("immediate barrier after coalescing off: %+v", st)
+	}
+	if got := e.DeferredBarriers(); got != 4 {
+		t.Fatalf("DeferredBarriers moved to %d with coalescing off", got)
+	}
+}

@@ -77,6 +77,10 @@ type coreState struct {
 	src  trace.Source
 	done bool
 
+	// userCommit, when non-nil, observes the core's commit events after the
+	// coherence probe logic ran (see OnCoreCommit).
+	userCommit func(cpu.CommitEvent)
+
 	deferred   []deferredProbe
 	deferredAt map[uint64]struct{} // addrs present in deferred
 }
@@ -122,15 +126,27 @@ func New(cfg Config) *Sim {
 	// Each core's committed stores become probe traffic at every other
 	// core (write-invalidate coherence at commit time).
 	for i, cs := range s.cores {
-		src := i
+		src, cs := i, cs
 		cs.cpu.OnCommit(func(e cpu.CommitEvent) {
 			if e.Op == isa.Store {
 				s.probeFrom(src, e.Addr)
+			}
+			if cs.userCommit != nil {
+				cs.userCommit(e)
 			}
 		})
 	}
 	return s
 }
+
+// OnCoreCommit installs fn to observe core i's commit events (a store or
+// flush reaching the memory system, a pcommit issuing) without displacing
+// the coherence probe hook; nil removes it. The service layer uses this to
+// timestamp durable commits: a store drains at retirement on a baseline
+// core but only at epoch commit — after the preceding barrier completed —
+// on an SP core, so the event time is the durability point. Like
+// cpu.OnCommit, fn must not re-enter the CPU.
+func (s *Sim) OnCoreCommit(i int, fn func(cpu.CommitEvent)) { s.cores[i].userCommit = fn }
 
 func (s *Sim) registerCounters() {
 	s.reg.RegisterFunc("multicore.cores", func() uint64 { return uint64(len(s.cores)) })
@@ -218,6 +234,34 @@ func (s *Sim) retryDeferred(cs *coreState) {
 // SetSource binds core i's trace source. Sources must implement cpu.Seeker
 // (e.g. *trace.Buffer) for rollbacks to be possible.
 func (s *Sim) SetSource(i int, src trace.Source) { s.cores[i].src = src }
+
+// StartCore binds a trace source to core i and marks it runnable, for
+// harnesses (internal/service) that feed cores work in batches instead of
+// one trace per run. The caller owns the interleaving discipline: always
+// step the globally earliest core so the shared controller sees requests
+// in near-monotonic time order, exactly as Run does.
+func (s *Sim) StartCore(i int, src trace.Source) {
+	cs := s.cores[i]
+	cs.src = src
+	cs.cpu.Start(src)
+	cs.done = false
+}
+
+// StepCore retries any NACKed probes against core i and advances it one
+// step. It returns false once the core has drained, mirroring Run's
+// completion handling (pending probes resolve trivially on a finished
+// core: it is no longer speculating, so every retry would miss).
+func (s *Sim) StepCore(i int) bool {
+	cs := s.cores[i]
+	s.retryDeferred(cs)
+	if !cs.cpu.Step() {
+		cs.done = true
+		cs.deferred = nil
+		clear(cs.deferredAt)
+		return false
+	}
+	return true
+}
 
 // Run simulates every core to completion, interleaved by earliest Now()
 // (ties go to the lowest core index — fully deterministic). srcs, when

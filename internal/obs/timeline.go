@@ -133,4 +133,5 @@ const (
 	TrackMemctl      = "memctl"      // WPQ stalls and occupancy
 	TrackSSB         = "ssb"         // speculative store buffer occupancy
 	TrackCoherence   = "coherence"   // cross-core probe traffic (multicore)
+	TrackService     = "service"     // storage-server batches, queue depth, drops
 )

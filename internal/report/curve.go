@@ -1,0 +1,159 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// Curve renders one or more (x, y) series as an ASCII scatter chart — the
+// service layer's throughput–latency curves and latency CDFs, printable
+// next to the tables cmd/figures already emits. Each series draws with its
+// own marker; where series overlap, the later one wins the cell. Axes are
+// linear by default; LogY switches the y axis to log10 for tail-latency
+// curves whose interesting structure spans orders of magnitude.
+type Curve struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area width in characters (0 = 60)
+	Height int // plot area height in rows (0 = 16)
+	LogY   bool
+
+	series []curveSeries
+}
+
+type curveSeries struct {
+	name string
+	pts  []Point
+}
+
+// curveMarkers are assigned to series in AddSeries order, wrapping around.
+var curveMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// AddSeries appends one named series. Points need not be sorted.
+func (c *Curve) AddSeries(name string, pts []Point) {
+	c.series = append(c.series, curveSeries{name: name, pts: append([]Point(nil), pts...)})
+}
+
+// yTransform maps a y value into plotting space.
+func (c *Curve) yTransform(y float64) float64 {
+	if !c.LogY {
+		return y
+	}
+	if y <= 0 {
+		// Log-scale charts clamp non-positive values to the smallest
+		// representable mark rather than dropping the point.
+		return 0
+	}
+	return math.Log10(y)
+}
+
+// String renders the chart: plot area, x/y extents, and a legend line per
+// series. An empty chart renders just the title and legend.
+func (c *Curve) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s.pts {
+			y := c.yTransform(p.Y)
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	if math.IsInf(minX, 1) {
+		c.legend(&sb)
+		return sb.String()
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for si, s := range c.series {
+		mark := curveMarkers[si%len(curveMarkers)]
+		for _, p := range s.pts {
+			x := int(math.Round((p.X - minX) / (maxX - minX) * float64(w-1)))
+			y := int(math.Round((c.yTransform(p.Y) - minY) / (maxY - minY) * float64(h-1)))
+			grid[h-1-y][x] = mark
+		}
+	}
+
+	yLo, yHi := minY, maxY
+	if c.LogY {
+		yLo, yHi = math.Pow(10, minY), math.Pow(10, maxY)
+	}
+	yUnit := ""
+	if c.LogY {
+		yUnit = " (log)"
+	}
+	fmt.Fprintf(&sb, "%s%s\n", c.YLabel, yUnit)
+	for i, row := range grid {
+		edge := "|"
+		switch i {
+		case 0:
+			edge = fmt.Sprintf("%.4g |", yHi)
+		case h - 1:
+			edge = fmt.Sprintf("%.4g |", yLo)
+		}
+		fmt.Fprintf(&sb, "%14s%s\n", edge, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&sb, "%14s%s\n", "+", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%14s%-*.4g%.4g  %s\n", "", w-6, minX, maxX, c.XLabel)
+	c.legend(&sb)
+	return sb.String()
+}
+
+func (c *Curve) legend(sb *strings.Builder) {
+	for si, s := range c.series {
+		fmt.Fprintf(sb, "  %c %s\n", curveMarkers[si%len(curveMarkers)], s.name)
+	}
+}
+
+// CDF converts a sample of values into cumulative-fraction points
+// (value, fraction <= value), suitable for a Curve. The input is not
+// modified; ties collapse into one point at the higher fraction.
+func CDF(values []float64) []Point {
+	if len(values) == 0 {
+		return nil
+	}
+	vs := append([]float64(nil), values...)
+	sort.Float64s(vs)
+	var pts []Point
+	for i, v := range vs {
+		frac := float64(i+1) / float64(len(vs))
+		if len(pts) > 0 && pts[len(pts)-1].X == v {
+			pts[len(pts)-1].Y = frac
+			continue
+		}
+		pts = append(pts, Point{X: v, Y: frac})
+	}
+	return pts
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestCurveGolden pins the exact rendering of the scatter charts the
+// service figures emit: a log-y throughput-latency curve with several
+// series and a linear CDF. Regenerate with
+//
+//	go test ./internal/report -run Curve -update
+func TestCurveGolden(t *testing.T) {
+	var buf bytes.Buffer
+
+	tail := &Curve{
+		Title:  "p99 latency vs offered load (example)",
+		XLabel: "offered load (req/Mcycle)",
+		YLabel: "p99 (cycles)",
+		LogY:   true,
+		Width:  48,
+		Height: 10,
+	}
+	tail.AddSeries("Log+P", []Point{{100, 600}, {300, 1400}, {500, 2200}, {700, 2400}})
+	tail.AddSeries("Log+P+Sf", []Point{{100, 4300}, {300, 6400}, {500, 9000}, {700, 19500}})
+	tail.AddSeries("SP", []Point{{100, 4200}, {300, 6400}, {500, 7900}, {700, 12500}})
+	buf.WriteString(tail.String())
+	buf.WriteString("\n")
+
+	cdf := &Curve{
+		Title:  "latency CDF (example)",
+		XLabel: "latency (cycles)",
+		YLabel: "fraction",
+		Width:  48,
+		Height: 10,
+	}
+	cdf.AddSeries("SP", CDF([]float64{100, 200, 200, 400, 800, 1600, 1600, 3200}))
+	buf.WriteString(cdf.String())
+
+	golden := filepath.Join("testdata", "curves.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("curve rendering diverged from %s;\nrerun with -update if the change is intended\ngot:\n%s", golden, buf.Bytes())
+	}
+}
+
+func TestCurveMarkersAndLegend(t *testing.T) {
+	c := &Curve{Width: 20, Height: 5}
+	c.AddSeries("a", []Point{{0, 0}, {1, 1}})
+	c.AddSeries("b", []Point{{0, 1}, {1, 0}})
+	out := c.String()
+	for _, want := range []string{"  * a\n", "  o b\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend line %q missing from:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series markers missing from plot:\n%s", out)
+	}
+}
+
+func TestCurveEmpty(t *testing.T) {
+	c := &Curve{Title: "nothing"}
+	c.AddSeries("empty", nil)
+	out := c.String()
+	if !strings.HasPrefix(out, "nothing\n") || !strings.Contains(out, "empty") {
+		t.Errorf("empty chart should render title and legend only, got:\n%s", out)
+	}
+	if strings.Contains(out, "+---") {
+		t.Errorf("empty chart should not render axes, got:\n%s", out)
+	}
+}
+
+func TestCurveLogYClampsNonPositive(t *testing.T) {
+	c := &Curve{LogY: true, Width: 10, Height: 4}
+	c.AddSeries("s", []Point{{0, 0}, {1, 100}})
+	out := c.String() // must not panic or emit NaN
+	if strings.Contains(out, "NaN") {
+		t.Errorf("log-y chart rendered NaN:\n%s", out)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	if got := CDF(nil); got != nil {
+		t.Fatalf("CDF(nil) = %v, want nil", got)
+	}
+	in := []float64{3, 1, 2, 2}
+	pts := CDF(in)
+	want := []Point{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF points = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i].X != want[i].X || math.Abs(pts[i].Y-want[i].Y) > 1e-12 {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if in[0] != 3 {
+		t.Error("CDF mutated its input")
+	}
+}

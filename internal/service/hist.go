@@ -1,0 +1,144 @@
+// Log-bucketed latency histogram. Tail percentiles are the service layer's
+// headline metric, and storing raw per-request samples would make result
+// size (and JSON determinism) depend on the request count; instead samples
+// land in buckets whose width grows geometrically, giving every quantile a
+// proven relative-error bound at O(log(max latency)) space.
+package service
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+const (
+	// histSubBits sub-divides each power-of-two octave into 2^histSubBits
+	// buckets, bounding the relative error of any reported quantile.
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+)
+
+// QuantileRelError is the guaranteed relative-error bound of Histogram
+// quantiles versus exact order statistics: a bucket spanning [low, high]
+// has width <= low * 2^-histSubBits, and Quantile reports the bucket's
+// upper bound, so the estimate overshoots by at most that fraction.
+const QuantileRelError = 1.0 / histSubCount
+
+// Histogram is a log-bucketed value distribution. The zero value is an
+// empty, usable histogram. Fields are exported so results serialize to
+// deterministic JSON (Counts is dense up to the highest occupied bucket).
+type Histogram struct {
+	Counts []uint64 `json:"counts,omitempty"`
+	N      uint64   `json:"n"`
+	Sum    uint64   `json:"sum"`
+	Min    uint64   `json:"min"`
+	Max    uint64   `json:"max"`
+}
+
+// bucketIndex maps a value to its bucket: values below histSubCount are
+// exact; above, the bucket is identified by the exponent of the leading
+// bit and the next histSubBits bits.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1
+	sub := int((v >> uint(e-histSubBits)) & (histSubCount - 1))
+	return histSubCount + (e-histSubBits)*histSubCount + sub
+}
+
+// bucketHigh returns the largest value the bucket holds.
+func bucketHigh(i int) uint64 {
+	if i < histSubCount {
+		return uint64(i)
+	}
+	g := (i - histSubCount) / histSubCount
+	sub := uint64((i - histSubCount) % histSubCount)
+	e := uint(g + histSubBits)
+	width := uint64(1) << (e - histSubBits)
+	return uint64(1)<<e + sub*width + width - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := bucketIndex(v)
+	for len(h.Counts) <= i {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[i]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Merge folds other into h (shard aggregation).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.N == 0 {
+		return
+	}
+	for len(h.Counts) < len(other.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	if h.N == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 < q <= 1): the
+// upper bound of the bucket containing the rank-ceil(q*N) sample. The
+// estimate e satisfies exact <= e <= exact * (1 + QuantileRelError) for
+// the exact order statistic. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.N {
+		rank = h.N
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketHigh(i)
+		}
+	}
+	return bucketHigh(len(h.Counts) - 1)
+}
+
+// Mean returns the exact arithmetic mean of the observed values.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Percentiles summarizes the distribution at the standard reporting
+// points.
+func (h *Histogram) Percentiles() (p50, p95, p99, p999 uint64) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Quantile(0.999)
+}
+
+// String renders a compact summary for logs and error messages.
+func (h *Histogram) String() string {
+	p50, p95, p99, p999 := h.Percentiles()
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p95=%d p99=%d p99.9=%d max=%d",
+		h.N, h.Mean(), p50, p95, p99, p999, h.Max)
+}

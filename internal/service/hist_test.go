@@ -1,0 +1,129 @@
+package service
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile returns the rank-ceil(q*n) order statistic of sorted vs —
+// the reference Histogram.Quantile approximates.
+func exactQuantile(vs []uint64, q float64) uint64 {
+	rank := int(math.Ceil(q * float64(len(vs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(vs) {
+		rank = len(vs)
+	}
+	return vs[rank-1]
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within the relative-error bound, and bucket indices must be
+	// monotone in the value.
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous index %d", v, i, prev)
+		}
+		prev = i
+		hi := bucketHigh(i)
+		if hi < v {
+			t.Fatalf("bucketHigh(bucketIndex(%d)) = %d < value", v, hi)
+		}
+		if float64(hi) > float64(v)*(1+QuantileRelError)+1 {
+			t.Fatalf("bucket upper bound %d overshoots value %d beyond the error bound", hi, v)
+		}
+		if got := bucketIndex(hi); got != i {
+			t.Fatalf("bucket %d upper bound %d maps to bucket %d", i, hi, got)
+		}
+	}
+}
+
+// TestQuantileErrorBoundProperty is the satellite property test: across
+// random seeds, sizes and value scales, every reported quantile must
+// bracket the exact order statistic from above within QuantileRelError.
+func TestQuantileErrorBoundProperty(t *testing.T) {
+	qs := []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3000)
+		scale := []uint64{10, 1000, 1 << 20, 1 << 44}[rng.Intn(4)]
+		var h Histogram
+		vs := make([]uint64, n)
+		var sum uint64
+		for i := range vs {
+			v := uint64(rng.Int63n(int64(scale)))
+			if rng.Intn(4) == 0 {
+				v = 0 // exercise the exact low buckets
+			}
+			vs[i] = v
+			sum += v
+			h.Observe(v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		if h.N != uint64(n) || h.Sum != sum || h.Min != vs[0] || h.Max != vs[n-1] {
+			t.Fatalf("seed %d: summary fields n=%d sum=%d min=%d max=%d, want %d/%d/%d/%d",
+				seed, h.N, h.Sum, h.Min, h.Max, n, sum, vs[0], vs[n-1])
+		}
+		for _, q := range qs {
+			exact := exactQuantile(vs, q)
+			est := h.Quantile(q)
+			if est < exact {
+				t.Errorf("seed %d q=%g: estimate %d underestimates exact %d", seed, q, est, exact)
+			}
+			if float64(est) > float64(exact)*(1+QuantileRelError)+1 {
+				t.Errorf("seed %d q=%g: estimate %d exceeds exact %d by more than %.3f%%",
+					seed, q, est, exact, QuantileRelError*100)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty histogram mean = %g, want 0", got)
+	}
+	h.Observe(42)
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("single-sample quantile(%g) = %d, want 42", q, got)
+		}
+	}
+	if h.Min != 42 || h.Max != 42 {
+		t.Errorf("single-sample min/max = %d/%d, want 42/42", h.Min, h.Max)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b Histogram
+	for i := 0; i < 500; i++ {
+		v := uint64(rng.Int63n(1 << 30))
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(&Histogram{}) // merging an empty histogram is a no-op
+	if a.N != whole.N || a.Sum != whole.Sum || a.Min != whole.Min || a.Max != whole.Max {
+		t.Fatalf("merged summary %d/%d/%d/%d != whole %d/%d/%d/%d",
+			a.N, a.Sum, a.Min, a.Max, whole.N, whole.Sum, whole.Min, whole.Max)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("merged quantile(%g) = %d, whole = %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
