@@ -30,6 +30,30 @@ func benchScale() float64 {
 	return 0.004
 }
 
+// BenchmarkCoreInstrRate measures the simulator's own speed, not the
+// simulated machine's: committed (simulated) instructions retired per
+// wall-clock second by the single-core hot loop. scripts/bench_core.sh
+// appends the metric to BENCH_core.json so the trajectory of the
+// simulator's performance is tracked across commits.
+func BenchmarkCoreInstrRate(b *testing.B) {
+	bench, err := workload.FindBench("HM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var committed uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := workload.MustRun(bench, workload.RunConfig{
+			Variant: core.VariantSP, Scale: benchScale(), Seed: 1,
+		})
+		committed += r.Stats.Committed
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(committed)/secs, "sim-instrs/s")
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if workload.Table1Report().String() == "" {

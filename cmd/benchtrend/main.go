@@ -1,0 +1,125 @@
+// Command benchtrend appends one measurement to a benchmark-trajectory
+// JSON file. It reads `go test -bench` output on stdin, extracts a named
+// custom metric (b.ReportMetric unit), and appends an entry tagged with
+// the commit and date to the target file — an array of measurements,
+// oldest first. scripts/bench_core.sh drives it for BENCH_core.json.
+//
+// Usage:
+//
+//	go test -run '^$' -bench CoreInstrRate . | benchtrend -file BENCH_core.json -commit abc1234 -date 2026-08-08
+//	benchtrend -file BENCH_core.json -check   # validate the trajectory file only
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one point of the trajectory.
+type Entry struct {
+	Date   string  `json:"date"`
+	Commit string  `json:"commit"`
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// parseMetric scans `go test -bench` output for the first benchmark line
+// carrying the named custom metric and returns the benchmark name and the
+// metric value. Benchmark lines look like:
+//
+//	BenchmarkCoreInstrRate-8   3   401ms/op   1234567 sim-instrs/s
+func parseMetric(r io.Reader, metric string) (bench string, value float64, err error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != metric {
+				continue
+			}
+			v, perr := strconv.ParseFloat(fields[i-1], 64)
+			if perr != nil {
+				return "", 0, fmt.Errorf("benchtrend: metric %s on %s has non-numeric value %q", metric, fields[0], fields[i-1])
+			}
+			name := fields[0]
+			if cut := strings.LastIndex(name, "-"); cut > 0 {
+				name = name[:cut] // strip the -GOMAXPROCS suffix
+			}
+			return name, v, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", 0, err
+	}
+	return "", 0, fmt.Errorf("benchtrend: no benchmark line with metric %q on stdin", metric)
+}
+
+// load reads the trajectory file; a missing file is an empty trajectory.
+func load(path string) ([]Entry, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var es []Entry
+	if err := json.Unmarshal(b, &es); err != nil {
+		return nil, fmt.Errorf("benchtrend: %s: %w", path, err)
+	}
+	return es, nil
+}
+
+func save(path string, es []Entry) error {
+	b, err := json.MarshalIndent(es, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtrend: ")
+	var (
+		file   = flag.String("file", "BENCH_core.json", "trajectory file to append to")
+		metric = flag.String("metric", "sim-instrs/s", "custom metric unit to extract")
+		commit = flag.String("commit", "unknown", "commit id to tag the entry with")
+		date   = flag.String("date", "unknown", "date to tag the entry with (YYYY-MM-DD)")
+		check  = flag.Bool("check", false, "only validate the trajectory file, read nothing")
+	)
+	flag.Parse()
+
+	es, err := load(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *check {
+		for i, e := range es {
+			if e.Bench == "" || e.Metric == "" || e.Value <= 0 {
+				log.Fatalf("%s: entry %d is malformed: %+v", *file, i, e)
+			}
+		}
+		fmt.Printf("%s: %d entries ok\n", *file, len(es))
+		return
+	}
+	bench, value, err := parseMetric(os.Stdin, *metric)
+	if err != nil {
+		log.Fatal(err)
+	}
+	es = append(es, Entry{Date: *date, Commit: *commit, Bench: bench, Metric: *metric, Value: value})
+	if err := save(*file, es); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s %s = %.0f (%d entries)\n", *file, bench, *metric, value, len(es))
+}

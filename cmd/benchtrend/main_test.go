@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseMetric(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: specpersist
+BenchmarkCoreInstrRate-8   	       3	 401000000 ns/op	   1234567 sim-instrs/s
+PASS
+ok  	specpersist	2.101s
+`
+	bench, v, err := parseMetric(strings.NewReader(out), "sim-instrs/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench != "BenchmarkCoreInstrRate" {
+		t.Errorf("bench %q, want BenchmarkCoreInstrRate", bench)
+	}
+	if v != 1234567 {
+		t.Errorf("value %g, want 1234567", v)
+	}
+}
+
+func TestParseMetricMissing(t *testing.T) {
+	if _, _, err := parseMetric(strings.NewReader("PASS\n"), "sim-instrs/s"); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.json")
+	es := []Entry{{Date: "2026-08-08", Commit: "abc1234", Bench: "BenchmarkCoreInstrRate", Metric: "sim-instrs/s", Value: 42}}
+	if err := save(path, es); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != es[0] {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// A missing file is an empty trajectory, not an error.
+	none, err := load(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || none != nil {
+		t.Fatalf("missing file: entries=%v err=%v", none, err)
+	}
+	// Garbage must be rejected.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Fatal("malformed trajectory accepted")
+	}
+}

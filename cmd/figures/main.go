@@ -10,6 +10,7 @@
 //	figures -j 8             # run simulations on 8 workers
 //	figures -cache .sweepcache  # reuse completed runs across invocations
 //	figures -latency -only   # storage-server throughput-latency sweep
+//	figures -cluster -only   # replicated-fleet quorum capacity and rejoin
 //
 // The simulations behind each figure execute through the internal/sweep
 // engine: -j parallelizes them and -cache memoizes them on disk, and the
@@ -23,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"specpersist/internal/cluster"
 	"specpersist/internal/core"
 	"specpersist/internal/multicore"
 	"specpersist/internal/report"
@@ -49,6 +51,7 @@ func main() {
 		stalls    = flag.Bool("stalls", false, "print per-benchmark stall attribution (Log+P+Sf and SP)")
 		conflicts = flag.Bool("conflicts", false, "print the multi-core conflict-sensitivity table (real BLT probes)")
 		latency   = flag.Bool("latency", false, "print the storage-server throughput-latency sweep (open-loop arrivals, group commit)")
+		clusterF  = flag.Bool("cluster", false, "print the replicated-fleet figures (quorum capacity, RTT sensitivity, replica rejoin)")
 	)
 	flag.Parse()
 
@@ -160,5 +163,28 @@ func main() {
 			midRate := sc.Rates[len(sc.Rates)/2]
 			fmt.Println(service.LatencyCDFChart(points, midRate, sc.Batches[0], sc.Cores[0]).String())
 		}
+	}
+	if *clusterF {
+		runClusterSweep := func(name string, sc cluster.SweepConfig) {
+			sc.Base.Seed = *seed
+			sc.Workers = *jobs
+			points, err := cluster.Sweep(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emit(name, func() *report.Table { return cluster.CapacityTable(points) })
+		}
+		runClusterSweep("cluster-capacity", cluster.DefaultSweepConfig())
+		runClusterSweep("cluster-rtt", cluster.DefaultRTTSweepConfig())
+		rc := cluster.DefaultRejoinConfig()
+		rc.Base.Seed = *seed
+		rc.Workers = *jobs
+		start := time.Now()
+		points, err := cluster.RejoinSweep(rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(cluster.RejoinCurve(points).String())
+		fmt.Fprintf(os.Stderr, "[cluster-rejoin in %s]\n", time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func validClusterOptions() clusterOptions {
+	return clusterOptions{
+		Structure: "HM",
+		Variant:   "SP",
+		Nodes:     3,
+		Replicas:  2,
+		VNodes:    8,
+		Rate:      50,
+		Warmup:    96,
+		Batch:     1,
+		GetFrac:   0.25,
+		NetJitter: 0.2,
+		Seed:      1,
+		SetFlags:  map[string]bool{},
+	}
+}
+
+func TestBuildClusterConfigValid(t *testing.T) {
+	cfg, err := buildClusterConfig(validClusterOptions())
+	if err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	if cfg.Structure != "HM" || cfg.Nodes != 3 || cfg.Replicas != 2 {
+		t.Errorf("config not assembled from options: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("assembled config fails validation: %v", err)
+	}
+}
+
+func TestBuildClusterConfigRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*clusterOptions)
+		want string
+	}{
+		{"unknown variant", func(o *clusterOptions) { o.Variant = "Warp" }, "variant"},
+		{"non-durable variant", func(o *clusterOptions) { o.Variant = "Base" }, "durable"},
+		{"unknown structure", func(o *clusterOptions) { o.Structure = "QQ" }, "structure"},
+		{"zero rate", func(o *clusterOptions) { o.Rate = 0 }, "rate"},
+		{"zero nodes", func(o *clusterOptions) { o.Nodes = 0 }, "node"},
+		{"replicas over nodes", func(o *clusterOptions) { o.Replicas = 5 }, "replication factor"},
+		{"quorum over replicas", func(o *clusterOptions) { o.Quorum = 3 }, "quorum"},
+		{"zero vnodes", func(o *clusterOptions) { o.VNodes = 0 }, "virtual node"},
+		{"negative batch", func(o *clusterOptions) { o.Batch = -2 }, "batch"},
+		{"negative deadline", func(o *clusterOptions) { o.Deadline = -5 }, "-batch-deadline"},
+		{"negative rtt", func(o *clusterOptions) { o.NetRTT = -1 }, "-net-rtt"},
+		{"tiny rtt", func(o *clusterOptions) { o.NetRTT = 1 }, "RTT"},
+		{"jitter out of range", func(o *clusterOptions) { o.NetJitter = 1 }, "jitter"},
+		{"bad zipf", func(o *clusterOptions) { o.Zipf = 0.3 }, "zipf"},
+		{"bad get fraction", func(o *clusterOptions) { o.GetFrac = 2 }, "get fraction"},
+		{"negative crash-at", func(o *clusterOptions) { o.CrashAt = -1 }, "-crash-at"},
+		{"crash node out of range", func(o *clusterOptions) { o.CrashAt = 1000; o.CrashNode = 7 }, "crash node"},
+		{"recover without crash", func(o *clusterOptions) { o.RecoverAfter = 1000 }, "crash"},
+		{"negative rebalance", func(o *clusterOptions) { o.RebalanceEvery = -1 }, "-rebalance-every"},
+	}
+	for _, tc := range cases {
+		o := validClusterOptions()
+		tc.mut(&o)
+		_, err := buildClusterConfig(o)
+		if err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, o)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBuildClusterConfigRejectsForeignModeFlags: flags of the benchmark,
+// conflict-engine and -service modes must clash loudly with -cluster,
+// never be silently ignored, and the error must name every offender.
+func TestBuildClusterConfigRejectsForeignModeFlags(t *testing.T) {
+	for _, name := range incompatibleWithCluster {
+		o := validClusterOptions()
+		o.SetFlags = map[string]bool{name: true}
+		_, err := buildClusterConfig(o)
+		if err == nil {
+			t.Errorf("-%s alongside -cluster was accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-"+name) {
+			t.Errorf("clash error %q does not name -%s", err, name)
+		}
+	}
+	o := validClusterOptions()
+	o.SetFlags = map[string]bool{"service": true, "mc-ops": true}
+	_, err := buildClusterConfig(o)
+	if err == nil || !strings.Contains(err.Error(), "-service") || !strings.Contains(err.Error(), "-mc-ops") {
+		t.Errorf("multi-flag clash error %v must list every offending flag", err)
+	}
+}
+
+// TestClusterFlagsClashWithService: the cluster flag family must also be
+// rejected from the -service side, so the two modes cannot be mixed in
+// either direction.
+func TestClusterFlagsClashWithService(t *testing.T) {
+	for _, name := range []string{"cluster", "replicas", "quorum", "net-rtt", "crash-at"} {
+		o := validOptions()
+		o.SetFlags = map[string]bool{name: true}
+		_, err := buildServiceConfig(o)
+		if err == nil || !strings.Contains(err.Error(), "-"+name) {
+			t.Errorf("-%s alongside -service: err=%v, want clash naming the flag", name, err)
+		}
+	}
+}
+
+// TestClusterModeExitCodes drives the real binary via the re-exec helper:
+// invalid -cluster combinations must exit non-zero with a diagnostic, and
+// a small valid run must exit zero.
+func TestClusterModeExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		wantOK bool
+		want   string
+	}{
+		{"valid run", []string{"-cluster", "-rate", "400", "-requests", "24", "-warmup", "24"}, true, "cluster"},
+		{"clashing service flags", []string{"-cluster", "-process", "bursty"}, false, "-process"},
+		{"clashing bench flags", []string{"-cluster", "-scale", "0.5"}, false, "-scale"},
+		{"bad replicas", []string{"-cluster", "-replicas", "9"}, false, "replication factor"},
+		{"bad quorum", []string{"-cluster", "-replicas", "2", "-quorum", "3"}, false, "quorum"},
+		{"bad rtt", []string{"-cluster", "-net-rtt", "1"}, false, "RTT"},
+		{"recover without crash", []string{"-cluster", "-recover-after", "500"}, false, "crash"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run", "TestHelperSpsimMain")
+			cmd.Env = append(os.Environ(), "SPSIM_HELPER_ARGS="+strings.Join(tc.args, "\x1f"))
+			out, err := cmd.CombinedOutput()
+			if tc.wantOK && err != nil {
+				t.Fatalf("expected success, got %v:\n%s", err, out)
+			}
+			if !tc.wantOK {
+				ee, ok := err.(*exec.ExitError)
+				if !ok {
+					t.Fatalf("expected a non-zero exit, got err=%v:\n%s", err, out)
+				}
+				if ee.ExitCode() == 0 {
+					t.Fatalf("exit code 0 for invalid flags:\n%s", out)
+				}
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("output does not mention %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

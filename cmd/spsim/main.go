@@ -8,6 +8,7 @@
 //	spsim -bench BT -variant SP -timeline out.json  # Chrome trace
 //	spsim -cores 4 -bench HM -mc-frac 1.0  # multi-core conflict engine
 //	spsim -service -rate 300 -batch 8      # storage-server simulation
+//	spsim -cluster -replicas 3 -rate 200   # replicated quorum fleet
 //	spsim -list                            # enumerate benchmarks and variants
 //
 // Benchmarks: GH HM LL SS AT BT RT (paper Table 1).
@@ -24,6 +25,13 @@
 // million cycles against the -bench structure, a bounded FIFO per shard
 // (-cores shards), optional group commit (-batch, -batch-deadline), and
 // per-request durable-commit latency percentiles.
+//
+// With -cluster the run switches to the replicated fleet (internal/cluster):
+// -nodes servers partitioned by a consistent-hash ring, every key range on
+// -replicas of them, each update acknowledged only at the -quorum-th
+// durable replica, over a seeded network (-net-rtt, -net-jitter), with
+// optional crash/recovery (-crash-at, -crash-node, -recover-after) and
+// primary rebalancing under skew (-zipf, -rebalance-every).
 //
 // The -timeline file is Chrome trace_event JSON: load it at
 // chrome://tracing or https://ui.perfetto.dev (1 cycle renders as 1 µs).
@@ -97,6 +105,20 @@ func main() {
 		svcKeyspace = flag.Int("keyspace", 0, "service: request key range (0 = default 128)")
 		svcLogCap   = flag.Int("log-cap", 0, "service: per-shard undo-log capacity (0 = structure default)")
 
+		clusterMode = flag.Bool("cluster", false, "run the replicated-fleet simulation (sharding, quorum durability, failover)")
+		clNodes     = flag.Int("nodes", 3, "cluster: fleet size")
+		clReplicas  = flag.Int("replicas", 2, "cluster: replication factor R")
+		clQuorum    = flag.Int("quorum", 0, "cluster: write quorum W (0 = majority of R)")
+		clVNodes    = flag.Int("vnodes", 8, "cluster: virtual nodes per physical node on the hash ring")
+		clZipf      = flag.Float64("zipf", 0, "cluster: zipfian key-popularity exponent (0 = uniform, else > 1)")
+		clRTT       = flag.Int64("net-rtt", 0, "cluster: inter-node round trip in cycles (0 = default 800)")
+		clJitter    = flag.Float64("net-jitter", 0.2, "cluster: per-message latency spread in [0, 1)")
+		clCatchup   = flag.Int("catchup-batch", 0, "cluster: missed updates fetched per catch-up round trip (0 = default 32)")
+		clCrashAt   = flag.Int64("crash-at", 0, "cluster: crash -crash-node at this cycle (0 = no crash)")
+		clCrashNode = flag.Int("crash-node", 0, "cluster: node index to crash")
+		clRecover   = flag.Int64("recover-after", 0, "cluster: restart the crashed node this many cycles after the crash (0 = stays down)")
+		clRebalance = flag.Int64("rebalance-every", 0, "cluster: primary-rebalancer period in cycles (0 = off)")
+
 		cores       = flag.Int("cores", 0, "run the multi-core conflict engine with this many SP cores (0 = single-core); with -service, the shard count")
 		mcFrac      = flag.Float64("mc-frac", 0.5, "multicore: probability an op is a shared-table RMW (conflict dial)")
 		mcShared    = flag.Int("mc-shared-lines", 4, "multicore: shared-table lines per core")
@@ -109,6 +131,41 @@ func main() {
 
 	if *listOnly {
 		list()
+		return
+	}
+
+	if *clusterMode {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		runCluster(clusterOptions{
+			Structure:      *benchName,
+			Variant:        *variant,
+			Nodes:          *clNodes,
+			Replicas:       *clReplicas,
+			Quorum:         *clQuorum,
+			VNodes:         *clVNodes,
+			Rate:           *svcRate,
+			Requests:       *svcReqs,
+			Warmup:         *svcWarmup,
+			QueueCap:       *svcQueue,
+			Batch:          *svcBatch,
+			Deadline:       *svcDeadline,
+			GetFrac:        *svcGetFrac,
+			Keyspace:       *svcKeyspace,
+			Zipf:           *clZipf,
+			Overhead:       *overhead,
+			LogCap:         *svcLogCap,
+			NetRTT:         *clRTT,
+			NetJitter:      *clJitter,
+			CatchupBatch:   *clCatchup,
+			CrashAt:        *clCrashAt,
+			CrashNode:      *clCrashNode,
+			RecoverAfter:   *clRecover,
+			RebalanceEvery: *clRebalance,
+			Seed:           *seed,
+			SSB:            *ssb,
+			SetFlags:       set,
+		}, *jsonOut, *timeline, *tlCap)
 		return
 	}
 

@@ -42,12 +42,15 @@ type serviceOptions struct {
 	SetFlags    map[string]bool
 }
 
-// incompatibleWithService lists flags belonging to the benchmark and
-// conflict-engine modes; setting any of them alongside -service is a
-// configuration error.
+// incompatibleWithService lists flags belonging to the benchmark,
+// conflict-engine and fleet modes; setting any of them alongside -service
+// is a configuration error.
 var incompatibleWithService = []string{
 	"scale", "mc-frac", "mc-shared-lines", "mc-ops", "mc-warmup", "mc-disjoint",
 	"expect-rollbacks", "checkpoints",
+	"cluster", "nodes", "replicas", "quorum", "vnodes", "zipf",
+	"net-rtt", "net-jitter", "catchup-batch",
+	"crash-at", "crash-node", "recover-after", "rebalance-every",
 }
 
 // buildServiceConfig validates the flag values and assembles the service

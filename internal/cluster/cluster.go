@@ -1,0 +1,1255 @@
+// Package cluster simulates a replicated, sharded storage fleet on top of
+// the timing core: N nodes, each an internal/service-style server (one
+// timing core over a txn-logged persistent structure in its own memory
+// system), partitioned by a consistent-hash ring with virtual nodes. Every
+// update is sequenced into its key range's log by the range's primary and
+// replicated to the R-1 replica owners over a seeded network model; each
+// owner independently group-commits the update behind a persist-barrier
+// trio and acknowledges at its sentinel store's commit event — the same
+// durability timestamp internal/service uses, taken from the cycle the
+// store actually reaches the memory system (retirement on a baseline core,
+// epoch commit on an SP core). A client request completes only when a
+// write quorum W of owners has acknowledged: quorum-gated durability, so
+// the fleet never acknowledges state it could lose to W-1 node crashes.
+//
+// The point of the layer is the paper's claim at fleet scale: persist
+// barriers sit inside every replica's ack path, so their latency is paid
+// once per quorum member and the slowest quorum member's barrier stall
+// lands directly in client latency. Speculative persistence (SP) and group
+// commit shrink exactly that term, which the quorum-capacity figures
+// measure against replication factor, quorum size, and network RTT.
+//
+// Model shape and honesty:
+//
+//   - Each node is a private multicore.Sim (one core, own memory
+//     controller) plus a service.Backend. Nodes interact only through the
+//     message fabric; there is no cross-node coherence. Client RTT is
+//     excluded: latency runs from arrival at the primary to the W-th ack.
+//   - A per-(node,range) sequence gate applies each range's updates in
+//     global sequence order on every owner, buffering out-of-order
+//     deliveries. This makes primary handoff (failover, rebalancing) and
+//     recovery catch-up order-safe by construction.
+//   - Crash durability is group-granular: a crash loses the node's queue,
+//     gate buffers and every commit group whose sentinel had not yet
+//     committed; the durable image is the in-order prefix of
+//     sentinel-committed updates. The bit-level crash is additionally
+//     exercised as a validation pass — the functional memory image is
+//     crashed through internal/fault's sampled line fates, recovered via
+//     the undo log, and invariant-checked — before the node is rebuilt
+//     from the durable prefix.
+//   - A recovering node first replays its durable log (rebuild), then
+//     streams the changesets it missed from each range's primary in
+//     batched fetches over the network, applying them through the gate and
+//     the normal group-commit path; it rejoins (serves and counts toward
+//     new quorums as a full member) once caught up. While recovering it
+//     replicates and acknowledges but does not serve client traffic.
+//   - Everything is seeded and single-threaded per run: two runs of one
+//     Config produce byte-identical results at any sweep worker count.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"specpersist/internal/core"
+	"specpersist/internal/cpu"
+	"specpersist/internal/fault"
+	"specpersist/internal/hist"
+	"specpersist/internal/isa"
+	"specpersist/internal/multicore"
+	"specpersist/internal/obs"
+	"specpersist/internal/pstruct"
+	"specpersist/internal/service"
+)
+
+// Config parameterizes one fleet simulation.
+type Config struct {
+	// Structure names the served data structure (pstruct.Names(); "" = HM).
+	Structure string `json:"structure"`
+	// Variant is the per-node machine: Log+P, Log+P+Sf or SP.
+	Variant core.Variant `json:"variant"`
+	// Nodes is the fleet size.
+	Nodes int `json:"nodes"`
+	// Replicas is the ownership factor R: each key range lives on R nodes.
+	Replicas int `json:"replicas"`
+	// Quorum is the write quorum W (0 = majority of Replicas). An update is
+	// acknowledged to the client only after W owners durably applied it.
+	Quorum int `json:"quorum"`
+	// VNodes is the virtual-node count per physical node on the hash ring.
+	VNodes int `json:"vnodes"`
+	// Rate is the offered load in requests per million cycles, fleet-wide.
+	Rate float64 `json:"rate"`
+	// Requests is the total number of offered requests.
+	Requests int `json:"requests"`
+	// Warmup functionally populates each node's structure before serving.
+	Warmup int `json:"warmup"`
+	// QueueCap bounds each node's FIFO for client admissions; replication
+	// and catch-up traffic is never shed (a replica that dropped a
+	// sequenced update could never rejoin its range).
+	QueueCap int `json:"queue_cap"`
+	// BatchMax is the per-node group-commit limit K.
+	BatchMax int `json:"batch_max"`
+	// BatchDeadline is how long an idle node's queue head waits for
+	// co-batching, in cycles.
+	BatchDeadline uint64 `json:"batch_deadline"`
+	// GetFrac is the fraction of read-only gets (primary-only, quorum 1).
+	GetFrac float64 `json:"get_frac"`
+	// Keyspace bounds request keys.
+	Keyspace int `json:"keyspace"`
+	// ZipfS skews the key popularity (0 = uniform; otherwise must be > 1,
+	// the rand.Zipf exponent).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// OpOverhead is the per-request application preamble (0 = default,
+	// negative = none).
+	OpOverhead int `json:"op_overhead"`
+	// LogCap sizes each node's undo log (0 = structure default).
+	LogCap int `json:"log_cap,omitempty"`
+	// NetRTT is the inter-node round-trip time in cycles.
+	NetRTT uint64 `json:"net_rtt"`
+	// NetJitter scales per-message latency spread: one-way delay is
+	// RTT/2 * [1-J, 1+J), drawn deterministically per message.
+	NetJitter float64 `json:"net_jitter"`
+	// CatchupBatch is how many missed updates a recovering node fetches
+	// per round trip.
+	CatchupBatch int `json:"catchup_batch"`
+	// CrashAt, when > 0, crashes node CrashNode at that cycle.
+	CrashAt uint64 `json:"crash_at,omitempty"`
+	// CrashNode is the node to crash (with CrashAt > 0).
+	CrashNode int `json:"crash_node,omitempty"`
+	// RecoverAfter, when > 0, restarts the crashed node that many cycles
+	// after the crash; 0 leaves it down for the rest of the run.
+	RecoverAfter uint64 `json:"recover_after,omitempty"`
+	// RebalanceEvery, when > 0, runs the primary-rebalancer at that period:
+	// the hottest node's hottest range moves its primaryship to the
+	// least-loaded live owner (replica placement never changes).
+	RebalanceEvery uint64 `json:"rebalance_every,omitempty"`
+	// Seed drives arrivals, keys, network jitter and crash line fates.
+	Seed int64 `json:"seed"`
+	// SSBEntries overrides the SP store-buffer size (0 = default).
+	SSBEntries int `json:"ssb_entries,omitempty"`
+	// Timeline, when non-nil, records fleet-level events on the cluster
+	// track (node machines keep private cycle domains and are not traced).
+	Timeline *obs.Timeline `json:"-"`
+}
+
+// DefaultConfig returns a harness-scale 3-node R=2 majority-quorum SP
+// fleet.
+func DefaultConfig() Config {
+	return Config{
+		Structure:    "HM",
+		Variant:      core.VariantSP,
+		Nodes:        3,
+		Replicas:     2,
+		VNodes:       8,
+		Rate:         50,
+		Requests:     256,
+		Warmup:       96,
+		QueueCap:     64,
+		BatchMax:     1,
+		GetFrac:      0.25,
+		Keyspace:     128,
+		NetRTT:       800,
+		NetJitter:    0.2,
+		CatchupBatch: 32,
+		Seed:         1,
+	}
+}
+
+// defaultOpOverhead matches internal/service's per-request application
+// preamble, keeping node-level and fleet-level latency comparable.
+const defaultOpOverhead = 200
+
+// withDefaults resolves zero-valued knobs.
+func (c Config) withDefaults() Config {
+	if c.Structure == "" {
+		c.Structure = "HM"
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+		if c.Replicas > c.Nodes {
+			c.Replicas = c.Nodes
+		}
+	}
+	if c.Quorum == 0 {
+		c.Quorum = c.Replicas/2 + 1
+	}
+	if c.VNodes == 0 {
+		c.VNodes = 8
+	}
+	if c.Requests == 0 {
+		c.Requests = 256
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 1
+	}
+	if c.Keyspace == 0 {
+		c.Keyspace = 128
+	}
+	if c.OpOverhead == 0 {
+		c.OpOverhead = defaultOpOverhead
+	}
+	if c.LogCap == 0 {
+		c.LogCap = service.DefaultLogCap(c.Structure)
+	}
+	if c.NetRTT == 0 {
+		c.NetRTT = 800
+	}
+	if c.CatchupBatch == 0 {
+		c.CatchupBatch = 32
+	}
+	return c
+}
+
+// Validate rejects configurations the engine would mis-simulate, on the
+// defaults-resolved form.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if !(c.Rate > 0) {
+		return fmt.Errorf("cluster: arrival rate must be positive, got %g req/Mcycle", c.Rate)
+	}
+	switch d.Variant {
+	case core.VariantLogP, core.VariantLogPSf, core.VariantSP:
+	default:
+		return fmt.Errorf("cluster: variant %s has no durable commit; use Log+P, Log+P+Sf or SP", d.Variant)
+	}
+	valid := false
+	for _, n := range pstruct.Names() {
+		if n == d.Structure {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("cluster: unknown structure %q (valid: %v)", d.Structure, pstruct.Names())
+	}
+	if d.Nodes < 1 {
+		return fmt.Errorf("cluster: node count must be at least 1, got %d", d.Nodes)
+	}
+	if d.Replicas < 1 || d.Replicas > d.Nodes {
+		return fmt.Errorf("cluster: replication factor must be in [1, %d nodes], got %d", d.Nodes, d.Replicas)
+	}
+	if d.Quorum < 1 || d.Quorum > d.Replicas {
+		return fmt.Errorf("cluster: write quorum must be in [1, %d replicas], got %d", d.Replicas, d.Quorum)
+	}
+	if d.VNodes < 1 {
+		return fmt.Errorf("cluster: virtual-node count must be at least 1, got %d", d.VNodes)
+	}
+	if d.Requests < 1 {
+		return fmt.Errorf("cluster: request count must be positive, got %d", d.Requests)
+	}
+	if d.QueueCap < 1 {
+		return fmt.Errorf("cluster: queue capacity must be at least 1, got %d", d.QueueCap)
+	}
+	if d.BatchMax < 1 {
+		return fmt.Errorf("cluster: group-commit batch size must be at least 1, got %d", d.BatchMax)
+	}
+	if d.GetFrac < 0 || d.GetFrac > 1 {
+		return fmt.Errorf("cluster: get fraction must be in [0,1], got %g", d.GetFrac)
+	}
+	if d.Keyspace < 2 {
+		return fmt.Errorf("cluster: keyspace must be at least 2, got %d", d.Keyspace)
+	}
+	if d.ZipfS != 0 && d.ZipfS <= 1 {
+		return fmt.Errorf("cluster: zipf exponent must be 0 (uniform) or > 1, got %g", d.ZipfS)
+	}
+	if d.Warmup < 0 {
+		return fmt.Errorf("cluster: warmup must be non-negative, got %d", d.Warmup)
+	}
+	if d.NetRTT < 2 {
+		return fmt.Errorf("cluster: network RTT must be at least 2 cycles, got %d", d.NetRTT)
+	}
+	if d.NetJitter < 0 || d.NetJitter >= 1 {
+		return fmt.Errorf("cluster: network jitter must be in [0,1), got %g", d.NetJitter)
+	}
+	if d.CatchupBatch < 1 {
+		return fmt.Errorf("cluster: catch-up batch must be at least 1, got %d", d.CatchupBatch)
+	}
+	if d.CrashAt > 0 && (d.CrashNode < 0 || d.CrashNode >= d.Nodes) {
+		return fmt.Errorf("cluster: crash node must be in [0,%d), got %d", d.Nodes, d.CrashNode)
+	}
+	if d.CrashAt == 0 && d.RecoverAfter > 0 {
+		return fmt.Errorf("cluster: recover-after needs a crash (set crash-at)")
+	}
+	if d.SSBEntries < 0 {
+		return fmt.Errorf("cluster: SSB size must be non-negative, got %d", d.SSBEntries)
+	}
+	return nil
+}
+
+// request is one offered client operation.
+type request struct {
+	id  int
+	at  uint64
+	key uint64
+	get bool
+}
+
+// genArrivals materializes the seeded open-loop schedule. Per-request draw
+// order (gap, key, class) is fixed, so one seed gives one schedule.
+func genArrivals(c Config) []request {
+	rng := rand.New(rand.NewSource(c.Seed))
+	var zipf *rand.Zipf
+	if c.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Keyspace-1))
+	}
+	perCycle := c.Rate / 1e6
+	t := 0.0
+	reqs := make([]request, c.Requests)
+	for i := range reqs {
+		t += rng.ExpFloat64() / perCycle
+		var key uint64
+		if zipf != nil {
+			key = zipf.Uint64()
+		} else {
+			key = uint64(rng.Intn(c.Keyspace))
+		}
+		get := rng.Float64() < c.GetFrac
+		reqs[i] = request{id: i, at: uint64(t), key: key, get: get}
+	}
+	return reqs
+}
+
+// item is one unit of node work: a sequenced update of a range, a
+// primary-only get, or a catch-up replay (reqID < 0).
+type item struct {
+	rid   int
+	seq   uint64 // update sequence within rid (updates only)
+	key   uint64
+	get   bool
+	reqID int    // arrival index, or -1 for catch-up items
+	enq   uint64 // cycle the item entered this node's queue
+}
+
+// logEntry is one committed position in a range's replicated log.
+type logEntry struct {
+	key   uint64
+	reqID int
+}
+
+// pendingReq tracks one client request awaiting its quorum.
+type pendingReq struct {
+	reqID     int
+	rid       int
+	seq       uint64
+	at        uint64
+	collector int // node gathering acks (primary at arrival)
+	need      int
+	got       int
+	possible  int // owners that could still ack
+	ackedBy   []int
+	get       bool
+}
+
+// completedRec records a completed update for the end-of-run durability
+// check: every acker must durably hold (rid, seq).
+type completedRec struct {
+	rid     int
+	seq     uint64
+	ackedBy []int
+}
+
+// durOp is one sentinel-committed update, in commit order — the node's
+// durable log, replayed on rebuild after a crash.
+type durOp struct {
+	rid int
+	seq uint64
+	key uint64
+}
+
+type nodeState int
+
+const (
+	stateLive nodeState = iota
+	stateCrashed
+	stateRecovering
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateLive:
+		return "live"
+	case stateCrashed:
+		return "crashed"
+	default:
+		return "recovering"
+	}
+}
+
+// rangeGate applies one range's updates in sequence order on one node,
+// buffering out-of-order deliveries.
+type rangeGate struct {
+	next uint64
+	buf  map[uint64]item
+}
+
+// node is one fleet member: a private machine plus harness bookkeeping.
+type node struct {
+	idx   int
+	sim   *multicore.Sim
+	be    *service.Backend
+	state nodeState
+
+	queue    []item
+	inflight [][]item
+	busy     bool
+	runStart uint64
+
+	gates      map[int]*rangeGate
+	appliedDur map[int]uint64 // per range: durable in-order applied count
+	durableOps []durOp
+
+	hist hist.Histogram // completions collected here (as primary)
+
+	// Catch-up state (stateRecovering only).
+	recoverAt        uint64
+	catchupTarget    map[int]uint64
+	catchupNext      map[int]uint64
+	fetchOutstanding bool
+
+	// Counters.
+	acks       uint64
+	collected  uint64
+	catchupOps uint64
+	crashes    uint64
+	rejoinAt   uint64
+}
+
+// Stats aggregates the fleet-level counters.
+type Stats struct {
+	Offered     uint64 `json:"offered"`
+	Completed   uint64 `json:"completed"`   // quorum-acknowledged requests
+	Dropped     uint64 `json:"dropped"`     // shed by the primary's bounded FIFO
+	Failed      uint64 `json:"failed"`      // un-acknowledged at a crash (quorum became impossible)
+	Unavailable uint64 `json:"unavailable"` // no live primary, or quorum impossible at arrival
+	Acks        uint64 `json:"acks"`        // durable-apply acknowledgements (all owners)
+	ReplMsgs    uint64 `json:"repl_msgs"`   // replication messages sent
+	NetMsgs     uint64 `json:"net_msgs"`    // all messages sent
+	CatchupOps  uint64 `json:"catchup_ops"` // updates streamed to recovering nodes
+	Groups      uint64 `json:"groups"`      // commit groups issued fleet-wide
+	Crashes     uint64 `json:"crashes"`
+	Rejoins     uint64 `json:"rejoins"`
+	Failovers   uint64 `json:"failovers"`  // primaryships moved off a crashed node
+	Rebalances  uint64 `json:"rebalances"` // primaryships moved by the load balancer
+	Ranges      int    `json:"ranges"`
+	SpanCycles  uint64 `json:"span_cycles"`
+}
+
+// NodeResult summarizes one node's run.
+type NodeResult struct {
+	Node         int    `json:"node"`
+	State        string `json:"state"`
+	Collected    uint64 `json:"collected"` // completions collected as primary
+	Acks         uint64 `json:"acks"`
+	CatchupOps   uint64 `json:"catchup_ops,omitempty"`
+	Crashes      uint64 `json:"crashes,omitempty"`
+	RejoinCycles uint64 `json:"rejoin_cycles,omitempty"` // recovery start to rejoin
+	P99          uint64 `json:"p99"`
+}
+
+// Result is the outcome of one fleet run.
+type Result struct {
+	Config  Config `json:"config"`
+	Variant string `json:"variant"`
+	Stats   Stats  `json:"stats"`
+
+	// Hist pools every node's collected-latency histogram (hist.Merge),
+	// arrival to W-th durable ack, in cycles.
+	Hist hist.Histogram `json:"hist"`
+	P50  uint64         `json:"p50"`
+	P95  uint64         `json:"p95"`
+	P99  uint64         `json:"p99"`
+	P999 uint64         `json:"p999"`
+	Mean float64        `json:"mean"`
+
+	// Throughput is quorum-acknowledged goodput in requests per Mcycle.
+	Throughput float64 `json:"throughput"`
+
+	PerNode []NodeResult `json:"per_node"`
+
+	// Metrics is the unified snapshot: cluster.* counters plus each node's
+	// machine counters under "nodeN." prefixes.
+	Metrics obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// fleet is the simulation state of one Run.
+type fleet struct {
+	cfg   Config
+	ring  *Ring
+	net   *network
+	nodes []*node
+	tl    *obs.Timeline
+	reg   *obs.Registry
+
+	rangeLog  [][]logEntry
+	rangeHeat []uint64 // arrivals since the last rebalance tick
+	pending   map[int]*pendingReq
+	completed []completedRec
+
+	crashDone   bool
+	recoverDone bool
+	nextRebal   uint64
+
+	stats Stats
+	err   error
+}
+
+// event kinds, in tie-break priority order at equal cycles.
+const (
+	evArrival = iota
+	evDeliver
+	evCrash
+	evRecover
+	evRebalance
+	evStart
+	evStep
+)
+
+// Run simulates one fleet configuration to completion.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	s := &fleet{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Nodes, cfg.VNodes, cfg.Replicas),
+		net:     newNetwork(cfg.Seed+0x5eed, cfg.NetRTT, cfg.NetJitter),
+		tl:      cfg.Timeline,
+		reg:     obs.NewRegistry(),
+		pending: map[int]*pendingReq{},
+	}
+	s.rangeLog = make([][]logEntry, s.ring.NumRanges())
+	s.rangeHeat = make([]uint64, s.ring.NumRanges())
+	s.stats.Ranges = s.ring.NumRanges()
+	s.nextRebal = cfg.RebalanceEvery
+	s.registerCounters()
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{idx: i, gates: map[int]*rangeGate{}, appliedDur: map[int]uint64{}}
+		if err := s.buildMachine(n); err != nil {
+			return Result{}, err
+		}
+		s.nodes = append(s.nodes, n)
+	}
+
+	if err := s.loop(genArrivals(cfg)); err != nil {
+		return Result{}, err
+	}
+	if err := s.check(); err != nil {
+		return Result{}, err
+	}
+	return s.result(), nil
+}
+
+// MustRun is Run panicking on error (experiment drivers).
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// buildMachine (re)constructs node n's simulated machine and backend and
+// binds the sentinel commit hook. Used at fleet build and at post-crash
+// rebuild; the durable structure replay is the caller's job.
+func (s *fleet) buildMachine(n *node) error {
+	opts := core.DefaultOptions()
+	if s.cfg.Variant.Speculative() {
+		opts.CPU.SP = cpu.DefaultSPConfig()
+		if s.cfg.SSBEntries > 0 {
+			opts.CPU.SP.SSBEntries = s.cfg.SSBEntries
+		}
+	}
+	sim := multicore.New(multicore.Config{Cores: 1, Options: opts})
+	be, err := service.NewBackend(service.BackendConfig{
+		Structure: s.cfg.Structure,
+		Level:     s.cfg.Variant.Level(),
+		Warmup:    s.cfg.Warmup,
+		Keyspace:  s.cfg.Keyspace,
+		LogCap:    s.cfg.LogCap,
+		Seed:      s.cfg.Seed + int64(n.idx)*7919 + 1,
+		Coalesce:  s.cfg.BatchMax > 1,
+	}, 0, sim.Registry(0))
+	if err != nil {
+		return fmt.Errorf("cluster: node %d: %w", n.idx, err)
+	}
+	n.sim, n.be = sim, be
+	sim.OnCoreCommit(0, func(e cpu.CommitEvent) {
+		if e.Op == isa.Store && e.Addr == n.be.Sentinel {
+			s.sentinelCommit(n)
+		}
+	})
+	return nil
+}
+
+// registerCounters publishes the cluster.* key space.
+func (s *fleet) registerCounters() {
+	s.reg.RegisterFunc("cluster.offered", func() uint64 { return s.stats.Offered })
+	s.reg.RegisterFunc("cluster.completed", func() uint64 { return s.stats.Completed })
+	s.reg.RegisterFunc("cluster.dropped", func() uint64 { return s.stats.Dropped })
+	s.reg.RegisterFunc("cluster.failed", func() uint64 { return s.stats.Failed })
+	s.reg.RegisterFunc("cluster.unavailable", func() uint64 { return s.stats.Unavailable })
+	s.reg.RegisterFunc("cluster.acks", func() uint64 { return s.stats.Acks })
+	s.reg.RegisterFunc("cluster.repl_msgs", func() uint64 { return s.stats.ReplMsgs })
+	s.reg.RegisterFunc("cluster.net_msgs", func() uint64 { return s.net.sent })
+	s.reg.RegisterFunc("cluster.catchup_ops", func() uint64 { return s.stats.CatchupOps })
+	s.reg.RegisterFunc("cluster.groups", func() uint64 { return s.stats.Groups })
+	s.reg.RegisterFunc("cluster.crashes", func() uint64 { return s.stats.Crashes })
+	s.reg.RegisterFunc("cluster.rejoins", func() uint64 { return s.stats.Rejoins })
+	s.reg.RegisterFunc("cluster.failovers", func() uint64 { return s.stats.Failovers })
+	s.reg.RegisterFunc("cluster.rebalances", func() uint64 { return s.stats.Rebalances })
+	s.reg.RegisterFunc("cluster.ranges", func() uint64 { return uint64(s.stats.Ranges) })
+	s.reg.RegisterFunc("cluster.span_cycles", func() uint64 { return s.stats.SpanCycles })
+}
+
+// span advances the fleet's last-activity cycle.
+func (s *fleet) span(t uint64) {
+	if t > s.stats.SpanCycles {
+		s.stats.SpanCycles = t
+	}
+}
+
+// startTime mirrors internal/service's group-commit trigger: the K-th
+// enqueue starts a run immediately; otherwise the head waits out the batch
+// deadline. Either way the core must be free.
+func (s *fleet) startTime(n *node) uint64 {
+	t := n.sim.Core(0).Now()
+	var ready uint64
+	if len(n.queue) >= s.cfg.BatchMax {
+		ready = n.queue[len(n.queue)-1].enq
+	} else {
+		ready = n.queue[0].enq + s.cfg.BatchDeadline
+	}
+	if ready > t {
+		t = ready
+	}
+	return t
+}
+
+// loop is the deterministic scheduler: always the globally earliest event,
+// with a fixed kind order at equal cycles (arrival < delivery < crash <
+// recover < rebalance < run start < core step) and the lowest node index
+// breaking remaining ties. Network deliveries are already totally ordered
+// by (cycle, send sequence).
+func (s *fleet) loop(arrivals []request) error {
+	idx := 0
+	for {
+		bestT := ^uint64(0)
+		bestKind, bestNode := -1, -1
+		consider := func(t uint64, kind, nodeIdx int) {
+			if t < bestT || (t == bestT && (kind < bestKind || (kind == bestKind && nodeIdx < bestNode))) {
+				bestT, bestKind, bestNode = t, kind, nodeIdx
+			}
+		}
+		if idx < len(arrivals) {
+			consider(arrivals[idx].at, evArrival, -1)
+		}
+		if at, ok := s.net.nextAt(); ok {
+			consider(at, evDeliver, -1)
+		}
+		if s.cfg.CrashAt > 0 && !s.crashDone {
+			consider(s.cfg.CrashAt, evCrash, -1)
+		}
+		if s.crashDone && !s.recoverDone && s.cfg.RecoverAfter > 0 {
+			consider(s.cfg.CrashAt+s.cfg.RecoverAfter, evRecover, -1)
+		}
+		for i, n := range s.nodes {
+			if n.busy {
+				consider(n.sim.Core(0).Now(), evStep, i)
+			} else if n.state != stateCrashed && len(n.queue) > 0 {
+				consider(s.startTime(n), evStart, i)
+			}
+		}
+		if bestKind == -1 {
+			break
+		}
+		// The rebalance tick only competes while other work is pending, so
+		// a periodic event can never keep a drained fleet alive.
+		if s.cfg.RebalanceEvery > 0 && s.nextRebal <= bestT {
+			bestT, bestKind, bestNode = s.nextRebal, evRebalance, -1
+		}
+		switch bestKind {
+		case evArrival:
+			r := arrivals[idx]
+			idx++
+			s.arrive(r)
+		case evDeliver:
+			s.deliver(s.net.pop())
+		case evCrash:
+			s.crashDone = true
+			s.crashNode(s.cfg.CrashNode, bestT)
+		case evRecover:
+			s.recoverDone = true
+			s.recoverNode(s.cfg.CrashNode, bestT)
+		case evRebalance:
+			s.rebalance(bestT)
+			s.nextRebal += s.cfg.RebalanceEvery
+		case evStart:
+			s.startRun(s.nodes[bestNode], bestT)
+		case evStep:
+			s.stepNode(s.nodes[bestNode])
+		}
+		if s.err != nil {
+			return s.err
+		}
+	}
+	s.stats.NetMsgs = s.net.sent
+	acct := s.stats.Completed + s.stats.Dropped + s.stats.Failed + s.stats.Unavailable
+	if acct != s.stats.Offered {
+		return fmt.Errorf("cluster: request accounting broken: %d completed + %d dropped + %d failed + %d unavailable != %d offered",
+			s.stats.Completed, s.stats.Dropped, s.stats.Failed, s.stats.Unavailable, s.stats.Offered)
+	}
+	if len(s.pending) > 0 {
+		return fmt.Errorf("cluster: %d requests still pending after the fleet drained", len(s.pending))
+	}
+	return nil
+}
+
+// arrive routes one client request: gets go to the live primary alone;
+// updates are sequenced into the range log and fanned out to every
+// non-crashed owner.
+func (s *fleet) arrive(r request) {
+	s.stats.Offered++
+	rid := s.ring.RangeOf(r.key)
+	s.rangeHeat[rid]++
+	p := s.ring.Primary(rid)
+	pn := s.nodes[p]
+	if pn.state != stateLive {
+		s.stats.Unavailable++
+		s.span(r.at)
+		s.tl.Instant(obs.TrackCluster, "cluster.unavailable", r.at)
+		return
+	}
+	need, possible := 1, 1
+	if !r.get {
+		need = s.cfg.Quorum
+		possible = 0
+		for _, o := range s.ring.Owners(rid) {
+			if s.nodes[o].state != stateCrashed {
+				possible++
+			}
+		}
+		if possible < need {
+			s.stats.Unavailable++
+			s.span(r.at)
+			s.tl.Instant(obs.TrackCluster, "cluster.unavailable", r.at)
+			return
+		}
+	}
+	if len(pn.queue) >= s.cfg.QueueCap {
+		s.stats.Dropped++
+		s.span(r.at)
+		s.tl.Instant(obs.TrackCluster, "cluster.drop", r.at)
+		return
+	}
+	pd := &pendingReq{reqID: r.id, rid: rid, at: r.at, collector: p, need: need, possible: possible, get: r.get}
+	s.pending[r.id] = pd
+	if r.get {
+		// Primary-only, unsequenced: straight into the FIFO.
+		pn.queue = append(pn.queue, item{rid: rid, key: r.key, get: true, reqID: r.id, enq: r.at})
+		return
+	}
+	seq := uint64(len(s.rangeLog[rid]))
+	s.rangeLog[rid] = append(s.rangeLog[rid], logEntry{key: r.key, reqID: r.id})
+	pd.seq = seq
+	it := item{rid: rid, seq: seq, key: r.key, reqID: r.id}
+	for _, o := range s.ring.Owners(rid) {
+		if o == p {
+			s.gateDeliver(pn, it, r.at)
+		} else if s.nodes[o].state != stateCrashed {
+			s.net.send(&message{from: p, to: o, kind: msgReplicate, item: it}, r.at)
+			s.stats.ReplMsgs++
+		}
+	}
+}
+
+// gateDeliver feeds one sequenced update through node n's per-range
+// in-order gate, releasing every contiguous sequence into the FIFO.
+func (s *fleet) gateDeliver(n *node, it item, t uint64) {
+	g := n.gates[it.rid]
+	if g == nil {
+		g = &rangeGate{next: n.appliedDur[it.rid], buf: map[uint64]item{}}
+		n.gates[it.rid] = g
+	}
+	if it.seq < g.next {
+		s.err = fmt.Errorf("cluster: node %d range %d: stale delivery of seq %d (gate at %d)", n.idx, it.rid, it.seq, g.next)
+		return
+	}
+	if it.seq > g.next {
+		g.buf[it.seq] = it
+		return
+	}
+	for {
+		it.enq = t
+		n.queue = append(n.queue, it)
+		g.next++
+		next, ok := g.buf[g.next]
+		if !ok {
+			return
+		}
+		delete(g.buf, g.next)
+		it = next
+	}
+}
+
+// deliver processes one network message at its delivery cycle.
+func (s *fleet) deliver(m *message) {
+	to := s.nodes[m.to]
+	switch m.kind {
+	case msgReplicate:
+		if to.state == stateCrashed {
+			return // lost with the node; catch-up re-fetches it
+		}
+		if to.state == stateRecovering && m.item.seq < to.catchupTarget[m.item.rid] {
+			return // the catch-up stream owns this span
+		}
+		s.gateDeliver(to, m.item, m.at)
+	case msgAck:
+		p, ok := s.pending[m.reqID]
+		if !ok {
+			return // completed or failed meanwhile; late acks are harmless
+		}
+		s.ackArrived(p, m.from, m.at)
+	case msgFetch:
+		// Serve rangeLog[lo, lo+n) back to the recovering node.
+		entries := s.rangeLog[m.rid][m.lo : m.lo+uint64(m.n)]
+		items := make([]item, len(entries))
+		for i, e := range entries {
+			items[i] = item{rid: m.rid, seq: m.lo + uint64(i), key: e.key, reqID: -1}
+		}
+		s.net.send(&message{from: m.to, to: m.from, kind: msgFetchResp, rid: m.rid, items: items}, m.at)
+	case msgFetchResp:
+		if to.state != stateRecovering {
+			return
+		}
+		for _, it := range m.items {
+			s.gateDeliver(to, it, m.at)
+		}
+		to.catchupOps += uint64(len(m.items))
+		s.stats.CatchupOps += uint64(len(m.items))
+		to.fetchOutstanding = false
+		s.scheduleFetch(to, m.at)
+	}
+}
+
+// ackArrived books one durable-apply acknowledgement; the W-th completes
+// the request at the collector.
+func (s *fleet) ackArrived(p *pendingReq, from int, t uint64) {
+	p.got++
+	p.ackedBy = append(p.ackedBy, from)
+	if p.got < p.need {
+		return
+	}
+	delete(s.pending, p.reqID)
+	if t < p.at {
+		s.err = fmt.Errorf("cluster: request %d completed at %d before its arrival %d", p.reqID, t, p.at)
+		return
+	}
+	nd := s.nodes[p.collector]
+	nd.hist.Observe(t - p.at)
+	nd.collected++
+	s.stats.Completed++
+	s.span(t)
+	if !p.get {
+		s.completed = append(s.completed, completedRec{rid: p.rid, seq: p.seq, ackedBy: append([]int(nil), p.ackedBy...)})
+	}
+	s.tl.Instant(obs.TrackCluster, "cluster.quorum_ack", t)
+}
+
+// startRun admits node n's whole queue at cycle t as one back-to-back
+// trace, partitioned into commit groups of up to BatchMax — exactly
+// internal/service's admission discipline, via the shared Backend.
+func (s *fleet) startRun(n *node, t uint64) {
+	run := n.queue
+	n.queue = nil
+	overhead := s.cfg.OpOverhead
+	if overhead < 0 {
+		overhead = 0
+	}
+	n.be.BeginRun()
+	for len(run) > 0 {
+		k := len(run)
+		if k > s.cfg.BatchMax {
+			k = s.cfg.BatchMax
+		}
+		group := run[:k]
+		run = run[k:]
+		ops := make([]service.Op, len(group))
+		for i, it := range group {
+			ops[i] = service.Op{Key: it.key, Get: it.get}
+		}
+		n.be.AppendGroup(ops, overhead)
+		n.inflight = append(n.inflight, group)
+		s.stats.Groups++
+	}
+	n.be.EndRun()
+	n.sim.Core(0).AdvanceTo(t)
+	n.sim.StartCore(0, &n.be.Buf)
+	n.busy = true
+	n.runStart = t
+}
+
+// stepNode advances one busy node; completions fire via the sentinel
+// commit hook.
+func (s *fleet) stepNode(n *node) {
+	if n.sim.StepCore(0) {
+		return
+	}
+	if len(n.inflight) > 0 && s.err == nil {
+		s.err = fmt.Errorf("cluster: node %d drained with %d in-flight groups", n.idx, len(n.inflight))
+	}
+	n.busy = false
+}
+
+// sentinelCommit fires when node n's oldest in-flight commit group becomes
+// durable: updates join the durable log in order and are acknowledged to
+// their collector; a recovering node checks whether it has caught up.
+func (s *fleet) sentinelCommit(n *node) {
+	if len(n.inflight) == 0 {
+		s.err = fmt.Errorf("cluster: node %d sentinel committed with no in-flight group", n.idx)
+		return
+	}
+	now := n.sim.Core(0).Now()
+	group := n.inflight[0]
+	n.inflight = n.inflight[1:]
+	for _, it := range group {
+		if !it.get {
+			if it.seq != n.appliedDur[it.rid] {
+				s.err = fmt.Errorf("cluster: node %d range %d: durable apply out of order: seq %d at position %d",
+					n.idx, it.rid, it.seq, n.appliedDur[it.rid])
+				return
+			}
+			n.appliedDur[it.rid]++
+			n.durableOps = append(n.durableOps, durOp{rid: it.rid, seq: it.seq, key: it.key})
+		}
+		if it.reqID < 0 {
+			continue // catch-up replay: the client was answered (or failed) long ago
+		}
+		p, ok := s.pending[it.reqID]
+		if !ok {
+			continue
+		}
+		n.acks++
+		s.stats.Acks++
+		if n.idx == p.collector {
+			s.ackArrived(p, n.idx, now)
+		} else {
+			s.net.send(&message{from: n.idx, to: p.collector, kind: msgAck, reqID: it.reqID}, now)
+		}
+		if s.err != nil {
+			return
+		}
+	}
+	s.span(now)
+	if n.state == stateRecovering {
+		s.maybeRejoin(n, now)
+	}
+}
+
+// sortedPendingIDs returns the pending request IDs ascending, for
+// deterministic crash-time iteration.
+func (s *fleet) sortedPendingIDs() []int {
+	ids := make([]int, 0, len(s.pending))
+	for id := range s.pending {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// fail abandons one pending request: its quorum became impossible. The
+// update may still be durable on surviving owners — failed means
+// un-acknowledged, never acknowledged-and-lost.
+func (s *fleet) fail(p *pendingReq, t uint64) {
+	delete(s.pending, p.reqID)
+	s.stats.Failed++
+	s.span(t)
+	s.tl.Instant(obs.TrackCluster, "cluster.failed", t)
+}
+
+// crashNode kills node idx at cycle t: volatile state (FIFO, gate buffers,
+// sentinel-uncommitted groups) is lost, the durable image is the in-order
+// committed prefix. The bit-level image is crash-recovered through
+// internal/fault's sampled line fates and invariant-checked as a
+// validation pass, pending quorums are repaired, and primaryships fail
+// over to live owners.
+func (s *fleet) crashNode(idx int, t uint64) {
+	c := s.nodes[idx]
+	if c.state != stateLive {
+		s.err = fmt.Errorf("cluster: crash of node %d at %d: node is %s", idx, t, c.state)
+		return
+	}
+	c.state = stateCrashed
+	c.crashes++
+	s.stats.Crashes++
+	s.tl.Instant(obs.TrackCluster, "cluster.crash", t)
+
+	// Validation pass: cut power on the functional memory image with
+	// sampled line fates (torn writes included), run undo-log recovery,
+	// and check structure invariants.
+	var fates []fault.LineFate
+	c.be.Env.Crash(fault.CrashOptionsSampled(s.cfg.Seed+int64(idx)*131+17, true, &fates))
+	c.be.Mgr.Recover()
+	if err := c.be.St.Check(); err != nil {
+		s.err = fmt.Errorf("cluster: node %d invariants broken after crash recovery: %w", idx, err)
+		return
+	}
+
+	// Volatile state is gone.
+	c.queue, c.inflight, c.busy = nil, nil, false
+	c.gates = map[int]*rangeGate{}
+
+	// Repair pending quorums: requests collected here can no longer be
+	// acknowledged; elsewhere, this node's ack is off the table unless the
+	// update was already durable here (its ack survives in flight).
+	for _, id := range s.sortedPendingIDs() {
+		p := s.pending[id]
+		if p.collector == idx {
+			s.fail(p, t)
+			continue
+		}
+		if !p.get && s.ring.IsOwner(p.rid, idx) && p.seq >= c.appliedDur[p.rid] {
+			p.possible--
+			if p.got+p.possible < p.need {
+				s.fail(p, t)
+			}
+		}
+	}
+
+	// Failover: promote the first live owner of every range this node led.
+	for _, rid := range s.ring.RangesOwnedBy(idx) {
+		if s.ring.Primary(rid) != idx {
+			continue
+		}
+		for _, o := range s.ring.Owners(rid) {
+			if s.nodes[o].state == stateLive {
+				s.ring.SetPrimary(rid, o)
+				s.stats.Failovers++
+				break
+			}
+		}
+	}
+}
+
+// recoverNode restarts the crashed node at cycle t: a fresh machine
+// replays the durable log (warmup plus the committed prefix, in commit
+// order), then catch-up fetches everything the ranges accepted while the
+// node was down.
+func (s *fleet) recoverNode(idx int, t uint64) {
+	c := s.nodes[idx]
+	if c.state != stateCrashed {
+		s.err = fmt.Errorf("cluster: recovery of node %d at %d: node is %s", idx, t, c.state)
+		return
+	}
+	if err := s.buildMachine(c); err != nil {
+		s.err = err
+		return
+	}
+	for _, op := range c.durableOps {
+		c.be.St.Apply(op.key)
+	}
+	c.be.Env.M.PersistAll()
+	if err := c.be.St.Check(); err != nil {
+		s.err = fmt.Errorf("cluster: node %d invariants broken after durable replay: %w", idx, err)
+		return
+	}
+	c.state = stateRecovering
+	c.recoverAt = t
+	c.gates = map[int]*rangeGate{}
+	c.catchupTarget = map[int]uint64{}
+	c.catchupNext = map[int]uint64{}
+	for _, rid := range s.ring.RangesOwnedBy(idx) {
+		c.catchupTarget[rid] = uint64(len(s.rangeLog[rid]))
+		c.catchupNext[rid] = c.appliedDur[rid]
+	}
+	s.tl.Instant(obs.TrackCluster, "cluster.recover", t)
+	s.scheduleFetch(c, t)
+	s.maybeRejoin(c, t)
+}
+
+// scheduleFetch issues the next catch-up batch (one outstanding at a
+// time): the lowest-numbered range still behind its target, fetched from
+// its current primary.
+func (s *fleet) scheduleFetch(c *node, t uint64) {
+	if c.fetchOutstanding {
+		return
+	}
+	rids := make([]int, 0, len(c.catchupTarget))
+	for rid := range c.catchupTarget {
+		rids = append(rids, rid)
+	}
+	sort.Ints(rids)
+	for _, rid := range rids {
+		lo, target := c.catchupNext[rid], c.catchupTarget[rid]
+		if lo >= target {
+			continue
+		}
+		n := int(target - lo)
+		if n > s.cfg.CatchupBatch {
+			n = s.cfg.CatchupBatch
+		}
+		src := s.ring.Primary(rid)
+		if src == c.idx || s.nodes[src].state != stateLive {
+			s.err = fmt.Errorf("cluster: node %d cannot catch up range %d: no live primary", c.idx, rid)
+			return
+		}
+		c.catchupNext[rid] = lo + uint64(n)
+		c.fetchOutstanding = true
+		s.net.send(&message{from: c.idx, to: src, kind: msgFetch, rid: rid, lo: lo, n: n}, t)
+		return
+	}
+}
+
+// maybeRejoin promotes a caught-up recovering node back to live
+// membership; ranges left with no live primary (R=1 after a primary
+// crash) come back under it.
+func (s *fleet) maybeRejoin(c *node, t uint64) {
+	for rid, target := range c.catchupTarget {
+		if c.appliedDur[rid] < target {
+			return
+		}
+	}
+	if c.fetchOutstanding {
+		return
+	}
+	c.state = stateLive
+	c.rejoinAt = t
+	s.stats.Rejoins++
+	for _, rid := range s.ring.RangesOwnedBy(c.idx) {
+		if s.nodes[s.ring.Primary(rid)].state != stateLive {
+			s.ring.SetPrimary(rid, c.idx)
+		}
+	}
+	s.tl.Instant(obs.TrackCluster, "cluster.rejoin", t)
+}
+
+// rebalance moves the hottest node's hottest range primaryship to the
+// least-loaded live owner, based on arrivals since the previous tick.
+// Replica placement never changes, and the sequence gates make the
+// handoff safe mid-stream.
+func (s *fleet) rebalance(t uint64) {
+	heat := make([]uint64, len(s.nodes))
+	for rid, h := range s.rangeHeat {
+		heat[s.ring.Primary(rid)] += h
+	}
+	hot, cold := -1, -1
+	for i, n := range s.nodes {
+		if n.state != stateLive {
+			continue
+		}
+		if hot == -1 || heat[i] > heat[hot] {
+			hot = i
+		}
+		if cold == -1 || heat[i] < heat[cold] {
+			cold = i
+		}
+	}
+	defer func() {
+		for i := range s.rangeHeat {
+			s.rangeHeat[i] = 0
+		}
+	}()
+	if hot == -1 || hot == cold || heat[hot] == 0 {
+		return
+	}
+	// The hottest of hot's primaried ranges whose owner set includes cold.
+	best, bestHeat := -1, uint64(0)
+	for rid, h := range s.rangeHeat {
+		if s.ring.Primary(rid) != hot || !s.ring.IsOwner(rid, cold) {
+			continue
+		}
+		if best == -1 || h > bestHeat {
+			best, bestHeat = rid, h
+		}
+	}
+	if best == -1 || bestHeat == 0 {
+		return
+	}
+	s.ring.SetPrimary(best, cold)
+	s.stats.Rebalances++
+	s.tl.Instant(obs.TrackCluster, "cluster.rebalance", t)
+}
+
+// check enforces the end-of-run invariants: every live owner has durably
+// applied its ranges' full logs, every node's structure invariants hold,
+// and — the quorum-durability property — every acknowledged update is in
+// the durable prefix of every node whose ack was counted, crashed and
+// rejoined nodes included.
+func (s *fleet) check() error {
+	for _, n := range s.nodes {
+		if n.state == stateCrashed {
+			continue // down for the rest of the run; its durable prefix stands
+		}
+		if n.state == stateRecovering {
+			return fmt.Errorf("cluster: node %d never finished catching up", n.idx)
+		}
+		if err := n.be.St.Check(); err != nil {
+			return fmt.Errorf("cluster: node %d after run: %w", n.idx, err)
+		}
+		for _, rid := range s.ring.RangesOwnedBy(n.idx) {
+			if got, want := n.appliedDur[rid], uint64(len(s.rangeLog[rid])); got != want {
+				return fmt.Errorf("cluster: node %d range %d: %d of %d updates durably applied", n.idx, rid, got, want)
+			}
+		}
+	}
+	for _, rec := range s.completed {
+		for _, a := range rec.ackedBy {
+			if s.nodes[a].appliedDur[rec.rid] <= rec.seq {
+				return fmt.Errorf("cluster: quorum durability violated: node %d acked range %d seq %d but durably holds only %d",
+					a, rec.rid, rec.seq, s.nodes[a].appliedDur[rec.rid])
+			}
+		}
+	}
+	return nil
+}
+
+// result assembles the Result from the finished fleet.
+func (s *fleet) result() Result {
+	hists := make([]*hist.Histogram, len(s.nodes))
+	for i, n := range s.nodes {
+		hists[i] = &n.hist
+	}
+	r := Result{
+		Config:  s.cfg,
+		Variant: s.cfg.Variant.String(),
+		Stats:   s.stats,
+		Hist:    hist.Merge(hists...),
+	}
+	r.Mean = r.Hist.Mean()
+	r.P50, r.P95, r.P99, r.P999 = r.Hist.Percentiles()
+	if s.stats.SpanCycles > 0 {
+		r.Throughput = float64(s.stats.Completed) / float64(s.stats.SpanCycles) * 1e6
+	}
+	for _, n := range s.nodes {
+		nr := NodeResult{
+			Node:       n.idx,
+			State:      n.state.String(),
+			Collected:  n.collected,
+			Acks:       n.acks,
+			CatchupOps: n.catchupOps,
+			Crashes:    n.crashes,
+			P99:        n.hist.Quantile(0.99),
+		}
+		if n.rejoinAt > 0 {
+			nr.RejoinCycles = n.rejoinAt - n.recoverAt
+		}
+		r.PerNode = append(r.PerNode, nr)
+	}
+	m := s.reg.Snapshot()
+	for i, n := range s.nodes {
+		prefix := fmt.Sprintf("node%d.", i)
+		for k, v := range n.sim.Metrics() {
+			m[prefix+k] = v
+		}
+	}
+	r.Metrics = m
+	return r
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specpersist/internal/core"
+)
+
+// quickConfig returns a small fleet that still exercises replication.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Requests = 128
+	cfg.Warmup = 48
+	cfg.Rate = 200
+	return cfg
+}
+
+func TestRunAccounting(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Offered != uint64(128) {
+		t.Fatalf("offered %d, want 128", st.Offered)
+	}
+	if st.Completed+st.Dropped+st.Failed+st.Unavailable != st.Offered {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	if st.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Hist.N != st.Completed {
+		t.Fatalf("histogram holds %d samples, want %d completions", res.Hist.N, st.Completed)
+	}
+	if st.ReplMsgs == 0 {
+		t.Fatal("R=2 fleet sent no replication messages")
+	}
+	if res.Throughput <= 0 || res.P99 == 0 {
+		t.Fatalf("degenerate result: throughput %g p99 %d", res.Throughput, res.P99)
+	}
+	var collected uint64
+	for _, n := range res.PerNode {
+		collected += n.Collected
+	}
+	if collected != st.Completed {
+		t.Fatalf("per-node collections %d != completed %d", collected, st.Completed)
+	}
+	if res.Metrics["cluster.completed"] != st.Completed {
+		t.Fatalf("metrics snapshot disagrees: %d != %d", res.Metrics["cluster.completed"], st.Completed)
+	}
+}
+
+// TestQuorumGatesLatency: waiting for a bigger write quorum can only push
+// the update tail out — W=R must be at least as slow at the median as W=1,
+// since the W-th ack includes more network and more persist barriers.
+func TestQuorumGatesLatency(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Replicas = 3
+	cfg.GetFrac = 0 // updates only, so quorum is on every request's path
+	cfg.Quorum = 1
+	w1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Quorum = 3
+	w3, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.P50 < w1.P50 {
+		t.Fatalf("W=3 median %d beat W=1 median %d", w3.P50, w1.P50)
+	}
+	// A full quorum waits for at least one network round trip (replicate
+	// out, ack back) that W=1 at the primary never pays.
+	if w3.P50 < w1.P50+cfg.NetRTT/2 {
+		t.Fatalf("W=3 median %d does not reflect the replication RTT over W=1's %d", w3.P50, w1.P50)
+	}
+}
+
+// TestGetsArePrimaryOnly: a read-only workload never replicates.
+func TestGetsArePrimaryOnly(t *testing.T) {
+	cfg := quickConfig()
+	cfg.GetFrac = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ReplMsgs != 0 {
+		t.Fatalf("pure-get run sent %d replication messages", res.Stats.ReplMsgs)
+	}
+	if res.Stats.Completed != res.Stats.Offered {
+		t.Fatalf("pure-get run: %d of %d completed", res.Stats.Completed, res.Stats.Offered)
+	}
+}
+
+// TestCrashFailoverRecovery is the fault-campaign smoke: crash a replica
+// mid-run under load heavy enough that commit groups are in flight, let it
+// recover and catch up, and rely on Run's internal checkers — a quorum ack
+// whose acker does not durably hold the group fails the run. Swept over
+// several crash cycles so at least one lands mid-commit-group.
+func TestCrashFailoverRecovery(t *testing.T) {
+	sawCatchup := false
+	for _, crashAt := range []uint64{120_000, 250_000, 400_000} {
+		cfg := quickConfig()
+		cfg.Requests = 256
+		cfg.Rate = 400
+		cfg.Replicas = 3
+		cfg.Quorum = 2
+		cfg.BatchMax = 4
+		cfg.BatchDeadline = 4000
+		cfg.CrashAt = crashAt
+		cfg.CrashNode = 1
+		cfg.RecoverAfter = 200_000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("crash at %d: %v", crashAt, err)
+		}
+		st := res.Stats
+		if st.Crashes != 1 || st.Rejoins != 1 {
+			t.Fatalf("crash at %d: crashes %d rejoins %d, want 1/1", crashAt, st.Crashes, st.Rejoins)
+		}
+		nd := res.PerNode[1]
+		if nd.State != "live" {
+			t.Fatalf("crash at %d: node 1 ended %s, want live", crashAt, nd.State)
+		}
+		if nd.CatchupOps > 0 {
+			sawCatchup = true
+			if nd.RejoinCycles == 0 {
+				t.Fatalf("crash at %d: caught up %d ops in zero cycles", crashAt, nd.CatchupOps)
+			}
+		}
+		if st.Completed+st.Dropped+st.Failed+st.Unavailable != st.Offered {
+			t.Fatalf("crash at %d: accounting broken: %+v", crashAt, st)
+		}
+	}
+	if !sawCatchup {
+		t.Fatal("no crash cycle produced catch-up traffic; the smoke is not exercising recovery")
+	}
+}
+
+// TestQuorumLossIsUnavailability: with R=W=2, losing one replica makes its
+// ranges reject updates instead of acknowledging non-quorate writes.
+func TestQuorumLossIsUnavailability(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 256
+	cfg.GetFrac = 0
+	cfg.CrashAt = 100_000
+	cfg.CrashNode = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Unavailable == 0 {
+		t.Fatalf("R=W=2 fleet acknowledged everything with a replica down: %+v", res.Stats)
+	}
+	if res.PerNode[0].State != "crashed" {
+		t.Fatalf("node 0 ended %s, want crashed (no recovery configured)", res.PerNode[0].State)
+	}
+}
+
+// TestRebalanceUnderZipf: skewed traffic plus the periodic balancer must
+// move at least one primaryship, and the run stays fully accounted.
+func TestRebalanceUnderZipf(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 384
+	cfg.ZipfS = 1.4
+	cfg.RebalanceEvery = 150_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rebalances == 0 {
+		t.Fatal("no primaryship moved under zipfian load")
+	}
+	if res.Stats.Completed+res.Stats.Dropped+res.Stats.Failed+res.Stats.Unavailable != res.Stats.Offered {
+		t.Fatalf("accounting broken after rebalancing: %+v", res.Stats)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero rate", func(c *Config) { c.Rate = 0 }, "rate"},
+		{"non-durable variant", func(c *Config) { c.Variant = core.VariantBase }, "durable"},
+		{"unknown structure", func(c *Config) { c.Structure = "XX" }, "structure"},
+		{"replicas over nodes", func(c *Config) { c.Replicas = 4 }, "replication factor"},
+		{"quorum over replicas", func(c *Config) { c.Quorum = 3 }, "quorum"},
+		{"negative quorum", func(c *Config) { c.Quorum = -1 }, "quorum"},
+		{"tiny rtt", func(c *Config) { c.NetRTT = 1 }, "RTT"},
+		{"jitter too big", func(c *Config) { c.NetJitter = 1 }, "jitter"},
+		{"bad zipf", func(c *Config) { c.ZipfS = 0.5 }, "zipf"},
+		{"crash node out of range", func(c *Config) { c.CrashAt = 1000; c.CrashNode = 3 }, "crash node"},
+		{"recover without crash", func(c *Config) { c.RecoverAfter = 1000 }, "crash"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func resultJSON(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestRunDeterminism: identical configurations — including a crash,
+// failover, catch-up and rejoin — must produce byte-identical JSON on
+// repeated runs. Run with -race in CI.
+func TestRunDeterminism(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 192
+	cfg.Rate = 300
+	cfg.Replicas = 3
+	cfg.Quorum = 2
+	cfg.BatchMax = 4
+	cfg.BatchDeadline = 4000
+	cfg.ZipfS = 1.3
+	cfg.RebalanceEvery = 200_000
+	cfg.CrashAt = 150_000
+	cfg.CrashNode = 2
+	cfg.RecoverAfter = 250_000
+	a := resultJSON(t, cfg)
+	b := resultJSON(t, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSweepWorkerIndependence: Sweep output must not depend on the worker
+// count — results are indexed by grid position.
+func TestSweepWorkerIndependence(t *testing.T) {
+	sc := DefaultSweepConfig()
+	sc.Base.Requests = 48
+	sc.Base.Warmup = 32
+	sc.Rates = []float64{200, 500}
+	sc.Replicas = []int{1, 2}
+	sc.Batches = []int{1}
+	sweepJSON := func(workers int) []byte {
+		sc.Workers = workers
+		points, err := Sweep(sc)
+		if err != nil {
+			t.Fatalf("sweep with %d workers: %v", workers, err)
+		}
+		b, err := json.Marshal(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := sweepJSON(1)
+	many := sweepJSON(8)
+	auto := sweepJSON(0)
+	if !bytes.Equal(one, many) || !bytes.Equal(one, auto) {
+		t.Fatal("sweep output depends on the worker count")
+	}
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"specpersist/internal/core"
+)
+
+func TestCapacityTableTinyGrid(t *testing.T) {
+	sc := DefaultSweepConfig()
+	sc.Base.Requests = 48
+	sc.Base.Warmup = 32
+	sc.Rates = []float64{150, 400}
+	sc.Replicas = []int{1, 2}
+	sc.Batches = []int{1}
+	points, err := Sweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sc.Variants) * 2 * 2; len(points) != want {
+		t.Fatalf("%d sweep points, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Result.Metrics != nil {
+			t.Fatal("sweep points should drop the metrics snapshot")
+		}
+		wantW := p.Replicas/2 + 1
+		if p.Quorum != wantW {
+			t.Fatalf("R=%d point carries W=%d, want majority %d", p.Replicas, p.Quorum, wantW)
+		}
+	}
+	tbl := CapacityTable(points)
+	if len(tbl.Rows) != 2 { // one row per (R, K, RTT) cell
+		t.Fatalf("%d capacity rows, want 2", len(tbl.Rows))
+	}
+	text := tbl.String()
+	for _, needle := range []string{"Log+P+Sf", "SP", "R", "RTT"} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("rendered table missing %q:\n%s", needle, text)
+		}
+	}
+}
+
+func TestRejoinSweepTiny(t *testing.T) {
+	rc := DefaultRejoinConfig()
+	rc.Base.Requests = 192
+	rc.Base.Rate = 300
+	rc.Variants = []core.Variant{core.VariantSP}
+	rc.RecoverAfters = []uint64{150_000, 500_000}
+	points, err := RejoinSweep(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d rejoin points, want 2", len(points))
+	}
+	// A longer outage misses at least as many updates and cannot rejoin
+	// faster than a shorter one with fewer ops to stream.
+	if points[1].CatchupOps < points[0].CatchupOps {
+		t.Fatalf("longer outage streamed fewer ops: %+v", points)
+	}
+	chart := RejoinCurve(points).String()
+	for _, needle := range []string{"rejoin", "catch-up", core.VariantSP.String()} {
+		if !strings.Contains(chart, needle) {
+			t.Fatalf("rendered rejoin curve missing %q:\n%s", needle, chart)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Seeded inter-node network model. Every message is assigned a one-way
+// latency of RTT/2 scaled by a deterministic per-message jitter factor in
+// [1-J, 1+J), drawn from splitmix64(seed + message sequence number) — no
+// shared rand.Source whose draw order could depend on scheduling. Delivery
+// order is a total order on (deliver-at cycle, send sequence), so two runs
+// of one configuration drain the network identically, byte for byte, at
+// any sweep worker count.
+package cluster
+
+import "container/heap"
+
+// msgKind discriminates network payloads.
+type msgKind int
+
+const (
+	msgReplicate msgKind = iota // primary -> replica: one sequenced update
+	msgAck                      // replica -> collector: durable apply of one request
+	msgFetch                    // recovering node -> primary: catch-up batch request
+	msgFetchResp                // primary -> recovering node: catch-up batch
+)
+
+// message is one in-flight network packet.
+type message struct {
+	at   uint64 // delivery cycle
+	seq  uint64 // global send order (tie-break and jitter seed)
+	from int
+	to   int
+	kind msgKind
+
+	item  item   // msgReplicate
+	reqID int    // msgAck
+	rid   int    // msgFetch, msgFetchResp
+	lo    uint64 // msgFetch: first sequence wanted
+	n     int    // msgFetch: batch size requested
+	items []item // msgFetchResp
+}
+
+// msgHeap orders messages by (delivery cycle, send sequence).
+type msgHeap []*message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(*message)) }
+func (h *msgHeap) Pop() any     { old := *h; n := len(old); m := old[n-1]; *h = old[:n-1]; return m }
+
+// network is the deterministic message fabric.
+type network struct {
+	seed   int64
+	rtt    uint64  // round trip in cycles; one-way = rtt/2 scaled by jitter
+	jitter float64 // [0, 1)
+	seq    uint64
+	q      msgHeap
+	sent   uint64
+}
+
+func newNetwork(seed int64, rtt uint64, jitter float64) *network {
+	return &network{seed: seed, rtt: rtt, jitter: jitter}
+}
+
+// oneWay computes the deterministic one-way latency of message seq.
+func (n *network) oneWay(seq uint64) uint64 {
+	base := float64(n.rtt) / 2
+	// u in [0, 1) from the message's own hash; latency in [base*(1-J), base*(1+J)).
+	u := float64(splitmix64(uint64(n.seed)+seq)>>11) / float64(1<<53)
+	d := base * (1 - n.jitter + 2*n.jitter*u)
+	if d < 1 {
+		d = 1
+	}
+	return uint64(d)
+}
+
+// send enqueues m for delivery at sentAt + one-way latency.
+func (n *network) send(m *message, sentAt uint64) {
+	m.seq = n.seq
+	n.seq++
+	m.at = sentAt + n.oneWay(m.seq)
+	heap.Push(&n.q, m)
+	n.sent++
+}
+
+// nextAt returns the earliest pending delivery cycle, or ok=false when the
+// fabric is drained.
+func (n *network) nextAt() (uint64, bool) {
+	if len(n.q) == 0 {
+		return 0, false
+	}
+	return n.q[0].at, true
+}
+
+// pop removes and returns the earliest pending message.
+func (n *network) pop() *message {
+	return heap.Pop(&n.q).(*message)
+}

@@ -1,0 +1,130 @@
+// Consistent-hash ring with virtual nodes. Each physical node projects
+// VNodes points onto the 64-bit hash circle; the arc ending at a point is
+// one key range, owned by the point's node (the initial primary) plus the
+// next R-1 distinct nodes clockwise (the replicas). Virtual nodes keep the
+// per-node load share near-uniform and make the ownership map stable under
+// membership churn; the cluster layer additionally moves primaryship
+// within an owner set (failover, rebalancing) without changing the set
+// itself, which keeps replica placement — and therefore durability — fixed
+// while traffic shifts.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// Ring is the partition map: NumRanges() = nodes*vnodes key ranges, each
+// with a fixed owner set and a mutable primary.
+type Ring struct {
+	points    []ringPoint
+	owners    [][]int // per range: distinct owner nodes, clockwise order
+	primaries []int   // per range: current primary (always an owner)
+}
+
+// splitmix64 is the shared key-spreading finalizer.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds the partition map for nodes physical nodes with vnodes
+// virtual nodes each and replication factor replicas (1 <= replicas <=
+// nodes). The layout is a pure function of its arguments.
+func NewRing(nodes, vnodes, replicas int) *Ring {
+	if nodes < 1 || vnodes < 1 || replicas < 1 || replicas > nodes {
+		panic(fmt.Sprintf("cluster: invalid ring shape nodes=%d vnodes=%d replicas=%d", nodes, vnodes, replicas))
+	}
+	r := &Ring{}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			h := splitmix64(uint64(n)<<32 | uint64(v) + 0x9e3779b97f4a7c15)
+			r.points = append(r.points, ringPoint{hash: h, node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	for i, p := range r.points {
+		owners := []int{p.node}
+		for step := 1; len(owners) < replicas; step++ {
+			cand := r.points[(i+step)%len(r.points)].node
+			dup := false
+			for _, o := range owners {
+				if o == cand {
+					dup = true
+				}
+			}
+			if !dup {
+				owners = append(owners, cand)
+			}
+		}
+		r.owners = append(r.owners, owners)
+		r.primaries = append(r.primaries, p.node)
+	}
+	return r
+}
+
+// NumRanges returns the range count.
+func (r *Ring) NumRanges() int { return len(r.points) }
+
+// RangeOf maps a key to its range: the first ring point at or after the
+// key's hash, wrapping at the top of the circle.
+func (r *Ring) RangeOf(key uint64) int {
+	h := splitmix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owners returns range rid's fixed owner set (clockwise order; do not
+// mutate).
+func (r *Ring) Owners(rid int) []int { return r.owners[rid] }
+
+// IsOwner reports whether node owns range rid.
+func (r *Ring) IsOwner(rid, node int) bool {
+	for _, o := range r.owners[rid] {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Primary returns range rid's current primary.
+func (r *Ring) Primary(rid int) int { return r.primaries[rid] }
+
+// SetPrimary moves range rid's primaryship to node, which must already be
+// in the owner set (replica placement never changes).
+func (r *Ring) SetPrimary(rid, node int) {
+	if !r.IsOwner(rid, node) {
+		panic(fmt.Sprintf("cluster: node %d is not an owner of range %d", node, rid))
+	}
+	r.primaries[rid] = node
+}
+
+// RangesOwnedBy returns every range in node's owner set, ascending.
+func (r *Ring) RangesOwnedBy(node int) []int {
+	var out []int
+	for rid := range r.owners {
+		if r.IsOwner(rid, node) {
+			out = append(out, rid)
+		}
+	}
+	return out
+}

@@ -219,6 +219,15 @@ func crashOptions(f fateFunc) pmem.CrashOptions {
 	return pmem.CrashOptions{LineFate: f}
 }
 
+// CrashOptionsSampled exposes the campaign's sampled-fate crash to other
+// layers (internal/cluster node crashes): line fates are drawn from seed
+// with the historical eviction/drain probabilities — torn writes included
+// when torn is set — and every decision is recorded into *out, so a fleet
+// crash remains a replayable plan fragment.
+func CrashOptionsSampled(seed int64, torn bool, out *[]LineFate) pmem.CrashOptions {
+	return crashOptions(samplingFates(seed, torn, out))
+}
+
 // Run executes the plan exactly as recorded and reports the outcome. It is
 // the single execution path for exploration (with sampled fates already
 // recorded into the plan), replay of serialized plans, and shrinking.

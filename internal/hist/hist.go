@@ -1,14 +1,22 @@
-// Log-bucketed latency histogram. Tail percentiles are the service layer's
-// headline metric, and storing raw per-request samples would make result
-// size (and JSON determinism) depend on the request count; instead samples
-// land in buckets whose width grows geometrically, giving every quantile a
-// proven relative-error bound at O(log(max latency)) space.
-package service
+// Package hist is the log-bucketed latency histogram shared by the
+// serving layers (internal/service per-shard accounting, internal/cluster
+// per-node accounting). Tail percentiles are their headline metric, and
+// storing raw per-request samples would make result size (and JSON
+// determinism) depend on the request count; instead samples land in
+// buckets whose width grows geometrically, giving every quantile a proven
+// relative-error bound at O(log(max latency)) space. Because bucket
+// boundaries are value-determined (never data-determined), histograms
+// recorded on different shards or nodes merge losslessly: Merge of
+// per-node histograms is bucket-exact equal to the histogram of the
+// pooled samples, so cross-node quantiles keep the same error bound.
+package hist
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"specpersist/internal/report"
 )
 
 const (
@@ -76,6 +84,19 @@ func (h *Histogram) Observe(v uint64) {
 	h.Sum += v
 }
 
+// Merge pools hs into one histogram (cross-shard or cross-node
+// aggregation). Buckets are value-determined, so the result is
+// bucket-exact equal to observing every input sample into one histogram:
+// quantiles of the merge carry the same QuantileRelError bound as
+// quantiles of the pool.
+func Merge(hs ...*Histogram) Histogram {
+	var out Histogram
+	for _, h := range hs {
+		out.Merge(h)
+	}
+	return out
+}
+
 // Merge folds other into h (shard aggregation).
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.N == 0 {
@@ -134,6 +155,24 @@ func (h *Histogram) Mean() float64 {
 // points.
 func (h *Histogram) Percentiles() (p50, p95, p99, p999 uint64) {
 	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Quantile(0.999)
+}
+
+// CDFPoints renders the histogram as cumulative-fraction points (bucket
+// upper bound, fraction <= bound), one per occupied bucket.
+func (h *Histogram) CDFPoints() []report.Point {
+	if h.N == 0 {
+		return nil
+	}
+	var pts []report.Point
+	var cum uint64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		pts = append(pts, report.Point{X: float64(bucketHigh(i)), Y: float64(cum) / float64(h.N)})
+	}
+	return pts
 }
 
 // String renders a compact summary for logs and error messages.

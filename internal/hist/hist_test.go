@@ -1,4 +1,4 @@
-package service
+package hist
 
 import (
 	"math"
@@ -124,6 +124,58 @@ func TestHistogramMerge(t *testing.T) {
 	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
 		if a.Quantile(q) != whole.Quantile(q) {
 			t.Errorf("merged quantile(%g) = %d, whole = %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestMergePoolingProperty is the property the cluster figures rely on:
+// for any partition of a sample stream across per-node histograms, the
+// package-level Merge of the parts is bucket-exact equal to the histogram
+// of the pooled samples, and every merged quantile stays within the proven
+// QuantileRelError bound of the exact pooled order statistic.
+func TestMergePoolingProperty(t *testing.T) {
+	for trial := int64(0); trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(100 + trial))
+		nodes := 1 + rng.Intn(8)
+		parts := make([]*Histogram, nodes)
+		for i := range parts {
+			parts[i] = &Histogram{}
+		}
+		var pooled Histogram
+		n := 1 + rng.Intn(2000)
+		samples := make([]uint64, n)
+		for i := range samples {
+			// Mix of scales so samples cross many octaves.
+			v := uint64(rng.Int63n(1 << uint(1+rng.Intn(40))))
+			samples[i] = v
+			pooled.Observe(v)
+			parts[rng.Intn(nodes)].Observe(v)
+		}
+		merged := Merge(parts...)
+
+		if merged.N != pooled.N || merged.Sum != pooled.Sum ||
+			merged.Min != pooled.Min || merged.Max != pooled.Max {
+			t.Fatalf("trial %d: merged summary diverged from pooled", trial)
+		}
+		if len(merged.Counts) != len(pooled.Counts) {
+			t.Fatalf("trial %d: merged has %d buckets, pooled %d", trial, len(merged.Counts), len(pooled.Counts))
+		}
+		for i := range merged.Counts {
+			if merged.Counts[i] != pooled.Counts[i] {
+				t.Fatalf("trial %d: bucket %d: merged %d, pooled %d", trial, i, merged.Counts[i], pooled.Counts[i])
+			}
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			got := merged.Quantile(q)
+			exact := exactQuantile(samples, q)
+			if got < exact {
+				t.Fatalf("trial %d: quantile(%g) = %d undershoots exact %d", trial, q, got, exact)
+			}
+			bound := uint64(math.Ceil(float64(exact) * (1 + QuantileRelError)))
+			if got > bound {
+				t.Fatalf("trial %d: quantile(%g) = %d exceeds bound %d (exact %d)", trial, q, got, bound, exact)
+			}
 		}
 	}
 }

@@ -134,4 +134,5 @@ const (
 	TrackSSB         = "ssb"         // speculative store buffer occupancy
 	TrackCoherence   = "coherence"   // cross-core probe traffic (multicore)
 	TrackService     = "service"     // storage-server batches, queue depth, drops
+	TrackCluster     = "cluster"     // fleet-level events: quorum acks, crashes, rejoins, rebalances
 )

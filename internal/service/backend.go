@@ -1,0 +1,165 @@
+// Backend is the exported machine-side building block of one serving
+// shard: a displaced address window holding a warmed-up, txn-logged
+// persistent structure, plus the group-commit trace-building discipline
+// (per-request preamble, optional coalesced persist trio, sentinel store
+// marking each commit group's durability point). internal/service wraps
+// one Backend per shard; internal/cluster wraps one per fleet node — the
+// two layers share exactly this execution recipe, so their latency
+// numbers stay comparable.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+
+	"specpersist/internal/exec"
+	"specpersist/internal/isa"
+	"specpersist/internal/obs"
+	"specpersist/internal/pstruct"
+	"specpersist/internal/trace"
+	"specpersist/internal/txn"
+)
+
+// Op is one keyed storage operation, the request payload shared by the
+// service and cluster layers. A Get is a read-only structure search; an
+// update applies the benchmark operation (insert-or-delete) for the key.
+type Op struct {
+	Key uint64 `json:"key"`
+	Get bool   `json:"get,omitempty"`
+}
+
+// BackendConfig sizes one txn-logged backend.
+type BackendConfig struct {
+	// Structure names the served data structure (pstruct.Names()).
+	Structure string
+	// Level is the variant's persistence-instruction level.
+	Level exec.Level
+	// Warmup functionally populates the structure before serving.
+	Warmup int
+	// Keyspace bounds warmup keys.
+	Keyspace int
+	// LogCap sizes the undo log (0 = DefaultLogCap for the structure).
+	LogCap int
+	// Seed drives the warmup key stream.
+	Seed int64
+	// Coalesce enables group-commit barrier coalescing: PersistBarriers
+	// defer, and AppendGroup closes each group with one amortized trio.
+	Coalesce bool
+}
+
+// DefaultLogCap returns the per-structure undo-log capacity used when a
+// config leaves LogCap zero (trees touch more lines per op).
+func DefaultLogCap(structure string) int {
+	switch structure {
+	case "AT", "BT":
+		return 1024
+	case "RT":
+		return 2048
+	default:
+		return 64
+	}
+}
+
+// Backend is one shard's (or cluster node's) machine-side state.
+type Backend struct {
+	Env *exec.Env
+	Mgr *txn.Manager
+	St  pstruct.Structure
+	Buf trace.Buffer
+
+	// Sentinel is the private line whose stores mark commit-group
+	// durability points; the harness watches the core's commit events for
+	// stores to it.
+	Sentinel uint64
+
+	// WarmupPcommits is the functional pcommit count at the end of
+	// construction; serving-phase counters report the delta.
+	WarmupPcommits uint64
+
+	coalesce bool
+	bld      *trace.Builder
+}
+
+// NewBackend constructs a backend displaced into window index `window`
+// (each window is a private 64 MiB region, so two backends sharing one
+// memory system never share a line; pass 0 for a private memory system).
+// The structure is functionally warmed up and persisted. reg, when
+// non-nil, receives the pmem and txn counters.
+func NewBackend(cfg BackendConfig, window int, reg *obs.Registry) (*Backend, error) {
+	if cfg.LogCap == 0 {
+		cfg.LogCap = DefaultLogCap(cfg.Structure)
+	}
+	env := exec.New()
+	env.Level = cfg.Level
+	env.AllocLines(window * shardRegionLines)
+	sentinel := env.AllocLines(1)
+	mgr := txn.NewManager(env, cfg.LogCap)
+	scfg := pstruct.Config{HashCapacity: 64, GraphVerts: 32, Strings: 16}
+	st := pstruct.Build(cfg.Structure, env, mgr, scfg)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Warmup; i++ {
+		st.Apply(uint64(rng.Intn(cfg.Keyspace)))
+	}
+	env.M.PersistAll()
+	if err := st.Check(); err != nil {
+		return nil, fmt.Errorf("service: backend after warmup: %w", err)
+	}
+	if cfg.Coalesce {
+		env.SetBarrierCoalescing(true)
+	}
+	if reg != nil {
+		env.M.Register(reg)
+		mgr.Register(reg)
+	}
+	return &Backend{
+		Env: env, Mgr: mgr, St: st, Sentinel: sentinel,
+		WarmupPcommits: env.M.Stats().Pcommits,
+		coalesce:       cfg.Coalesce,
+	}, nil
+}
+
+// BeginRun resets the trace buffer and arms the builder; AppendGroup calls
+// between BeginRun and EndRun compose one back-to-back admission run.
+func (b *Backend) BeginRun() {
+	b.Buf.Reset()
+	b.bld = trace.NewBuilder(&b.Buf)
+	b.Env.SetBuilder(b.bld)
+}
+
+// AppendGroup appends one commit group to the current run: per op an
+// overhead-long dependent-ALU application preamble then the structure
+// operation, and at the group boundary the coalesced persist trio (when
+// coalescing is on) followed by the sentinel store that marks the group's
+// durability point.
+func (b *Backend) AppendGroup(ops []Op, overhead int) {
+	for _, op := range ops {
+		if overhead > 0 {
+			reg := b.bld.ALU(0)
+			for i := 1; i < overhead; i++ {
+				reg = b.bld.ALU(0, reg)
+			}
+		}
+		if op.Get {
+			b.St.Contains(op.Key)
+		} else {
+			b.St.Apply(op.Key)
+		}
+	}
+	if b.coalesce {
+		b.Env.FlushBarriers()
+	}
+	b.bld.Store(b.Sentinel, 8, isa.NoReg, isa.NoReg)
+}
+
+// EndRun detaches the builder; Buf then holds the finished trace, ready to
+// start a core on.
+func (b *Backend) EndRun() {
+	b.Env.SetBuilder(nil)
+	b.bld = nil
+}
+
+// ServingPcommits reports the device pcommits issued since warmup ended.
+func (b *Backend) ServingPcommits() uint64 {
+	return b.Env.M.Stats().Pcommits - b.WarmupPcommits
+}

@@ -269,21 +269,3 @@ func LatencyCDFChart(points []SweepPoint, rate float64, batch, cores int) *repor
 	}
 	return c
 }
-
-// CDFPoints renders the histogram as cumulative-fraction points (bucket
-// upper bound, fraction <= bound), one per occupied bucket.
-func (h *Histogram) CDFPoints() []report.Point {
-	if h.N == 0 {
-		return nil
-	}
-	var pts []report.Point
-	var cum uint64
-	for i, c := range h.Counts {
-		if c == 0 {
-			continue
-		}
-		cum += c
-		pts = append(pts, report.Point{X: float64(bucketHigh(i)), Y: float64(cum) / float64(h.N)})
-	}
-	return pts
-}

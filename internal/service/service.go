@@ -49,14 +49,20 @@ import (
 
 	"specpersist/internal/core"
 	"specpersist/internal/cpu"
-	"specpersist/internal/exec"
+	"specpersist/internal/hist"
 	"specpersist/internal/isa"
 	"specpersist/internal/multicore"
 	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
-	"specpersist/internal/trace"
-	"specpersist/internal/txn"
 )
+
+// Histogram aliases the shared log-bucketed latency histogram
+// (internal/hist), keeping service result types and their JSON shape
+// stable across the extraction.
+type Histogram = hist.Histogram
+
+// QuantileRelError re-exports the histogram's proven quantile error bound.
+const QuantileRelError = hist.QuantileRelError
 
 // Process names an arrival process.
 type Process string
@@ -185,14 +191,7 @@ func (c Config) withDefaults() Config {
 		c.OpOverhead = defaultOpOverhead
 	}
 	if c.LogCap == 0 {
-		switch c.Structure {
-		case "AT", "BT":
-			c.LogCap = 1024
-		case "RT":
-			c.LogCap = 2048
-		default:
-			c.LogCap = 64
-		}
+		c.LogCap = DefaultLogCap(c.Structure)
 	}
 	return c
 }
@@ -339,28 +338,21 @@ type Result struct {
 	Metrics obs.Snapshot `json:"metrics,omitempty"`
 }
 
-// shard is one serving core's harness-side state.
+// shard is one serving core's harness-side state: an exported Backend
+// (the machine-side building block shared with internal/cluster) plus the
+// FIFO and in-flight bookkeeping of this layer's admission policy.
 type shard struct {
-	env   *exec.Env
-	mgr   *txn.Manager
-	st    pstruct.Structure
-	buf   trace.Buffer
+	be    *Backend
 	queue []request
 
-	// sentinel is the shard-private line whose stores mark commit-group
-	// durability points; inflight holds the admitted groups of the current
-	// run in program order, popped as their sentinels commit.
-	sentinel uint64
+	// inflight holds the admitted groups of the current run in program
+	// order, popped as their sentinels commit.
 	inflight [][]request
 
 	busy     bool
 	runStart uint64
 
 	depthAt uint64 // cycle of the last depth change (area accounting)
-
-	// warmupPcommits is the functional pcommit count at the end of shard
-	// construction; the serving-phase counter reports the delta.
-	warmupPcommits uint64
 }
 
 // server is the simulation state for one Run.
@@ -409,7 +401,7 @@ func Run(cfg Config) (Result, error) {
 		s.shards = append(s.shards, sh)
 		k := k
 		sim.OnCoreCommit(k, func(e cpu.CommitEvent) {
-			if e.Op == isa.Store && e.Addr == sh.sentinel {
+			if e.Op == isa.Store && e.Addr == sh.be.Sentinel {
 				s.completeGroup(sh, k)
 			}
 		})
@@ -420,11 +412,11 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	for k, sh := range s.shards {
-		if err := sh.st.Check(); err != nil {
+		if err := sh.be.St.Check(); err != nil {
 			return Result{}, fmt.Errorf("service: shard %d after run: %w", k, err)
 		}
-		s.stats.CoalescedBarriers += sh.env.DeferredBarriers()
-		s.stats.Pcommits += sh.env.M.Stats().Pcommits - sh.warmupPcommits
+		s.stats.CoalescedBarriers += sh.be.Env.DeferredBarriers()
+		s.stats.Pcommits += sh.be.ServingPcommits()
 	}
 
 	return s.result(), nil
@@ -439,36 +431,22 @@ func MustRun(cfg Config) Result {
 	return r
 }
 
-// buildShard constructs shard k: a displaced address window holding its
-// undo log and structure, functionally warmed up and persisted.
+// buildShard constructs shard k: a Backend displaced into window k so no
+// line is ever shared across cores (coherence probes always miss).
 func buildShard(cfg Config, k int, reg *obs.Registry) (*shard, error) {
-	env := exec.New()
-	env.Level = cfg.Variant.Level()
-	// Displace everything into shard k's private window so no line is
-	// shared across cores (coherence probes always miss).
-	env.AllocLines(k * shardRegionLines)
-	sentinel := env.AllocLines(1)
-	mgr := txn.NewManager(env, cfg.LogCap)
-	scfg := pstruct.Config{HashCapacity: 64, GraphVerts: 32, Strings: 16}
-	st := pstruct.Build(cfg.Structure, env, mgr, scfg)
-
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919 + 1))
-	for i := 0; i < cfg.Warmup; i++ {
-		st.Apply(uint64(rng.Intn(cfg.Keyspace)))
+	be, err := NewBackend(BackendConfig{
+		Structure: cfg.Structure,
+		Level:     cfg.Variant.Level(),
+		Warmup:    cfg.Warmup,
+		Keyspace:  cfg.Keyspace,
+		LogCap:    cfg.LogCap,
+		Seed:      cfg.Seed + int64(k)*7919 + 1,
+		Coalesce:  cfg.BatchMax > 1,
+	}, k, reg)
+	if err != nil {
+		return nil, fmt.Errorf("service: shard %d: %w", k, err)
 	}
-	env.M.PersistAll()
-	if err := st.Check(); err != nil {
-		return nil, fmt.Errorf("service: shard %d after warmup: %w", k, err)
-	}
-	if cfg.BatchMax > 1 {
-		env.SetBarrierCoalescing(true)
-	}
-	env.M.Register(reg)
-	mgr.Register(reg)
-	return &shard{
-		env: env, mgr: mgr, st: st, sentinel: sentinel,
-		warmupPcommits: env.M.Stats().Pcommits,
-	}, nil
+	return &shard{be: be}, nil
 }
 
 // registerCounters publishes the service.* key space.
@@ -603,9 +581,7 @@ func (s *server) startRun(sh *shard, k int, t uint64) {
 	s.tl.Count(obs.TrackService, "service.queue_depth", t, 0)
 	s.stats.Runs++
 
-	sh.buf.Reset()
-	bld := trace.NewBuilder(&sh.buf)
-	sh.env.SetBuilder(bld)
+	sh.be.BeginRun()
 	overhead := s.cfg.OpOverhead
 	if overhead < 0 {
 		overhead = 0
@@ -617,33 +593,21 @@ func (s *server) startRun(sh *shard, k int, t uint64) {
 		}
 		group := run[:n]
 		run = run[n:]
-		for _, r := range group {
-			if overhead > 0 {
-				reg := bld.ALU(0)
-				for i := 1; i < overhead; i++ {
-					reg = bld.ALU(0, reg)
-				}
-			}
-			if r.get {
-				sh.st.Contains(r.key)
-			} else {
-				sh.st.Apply(r.key)
-			}
+		ops := make([]Op, len(group))
+		for i, r := range group {
+			ops[i] = Op{Key: r.key, Get: r.get}
 		}
-		if s.cfg.BatchMax > 1 {
-			sh.env.FlushBarriers()
-		}
-		bld.Store(sh.sentinel, 8, isa.NoReg, isa.NoReg)
+		sh.be.AppendGroup(ops, overhead)
 		sh.inflight = append(sh.inflight, group)
 		s.stats.Batches++
 		if n > 1 {
 			s.stats.GroupedRequests += uint64(n)
 		}
 	}
-	sh.env.SetBuilder(nil)
+	sh.be.EndRun()
 
 	s.sim.Core(k).AdvanceTo(t)
-	s.sim.StartCore(k, &sh.buf)
+	s.sim.StartCore(k, &sh.be.Buf)
 	sh.busy = true
 	sh.runStart = t
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Measure the single-core simulator hot loop and append the result to
+# BENCH_core.json, the checked-in perf trajectory. Run from anywhere:
+#
+#   scripts/bench_core.sh              # 3 iterations (default)
+#   BENCHTIME=10x scripts/bench_core.sh
+#
+# CI runs this with BENCHTIME=1x as a smoke: the benchmark must produce a
+# parseable sim-instrs/s figure and the trajectory file must stay valid.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-3x}"
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%d)
+
+out=$(go test -run '^$' -bench '^BenchmarkCoreInstrRate$' -benchtime "$benchtime" .)
+printf '%s\n' "$out" >&2
+printf '%s\n' "$out" |
+  go run ./cmd/benchtrend -file BENCH_core.json -commit "$commit" -date "$date"
+go run ./cmd/benchtrend -file BENCH_core.json -check
