@@ -88,6 +88,33 @@ func save(path string, es []Entry) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// gateRegressions compares, per benchmark name, the newest entry against
+// its predecessor: a drop of more than pct percent fails. Higher-is-better
+// metrics only (the trajectory records rates). Single-entry benchmarks
+// pass trivially — there is nothing to regress from.
+func gateRegressions(es []Entry, pct float64) error {
+	prev := map[string]Entry{}
+	newest := map[string]Entry{}
+	for _, e := range es {
+		if cur, ok := newest[e.Bench]; ok {
+			prev[e.Bench] = cur
+		}
+		newest[e.Bench] = e
+	}
+	for bench, e := range newest {
+		p, ok := prev[bench]
+		if !ok {
+			continue
+		}
+		floor := p.Value * (1 - pct/100)
+		if e.Value < floor {
+			return fmt.Errorf("%s regressed %.1f%%: %.0f (%s) -> %.0f (%s), floor %.0f at -regress-pct %.0f",
+				bench, 100*(1-e.Value/p.Value), p.Value, p.Commit, e.Value, e.Commit, floor, pct)
+		}
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtrend: ")
@@ -96,7 +123,8 @@ func main() {
 		metric = flag.String("metric", "sim-instrs/s", "custom metric unit to extract")
 		commit = flag.String("commit", "unknown", "commit id to tag the entry with")
 		date   = flag.String("date", "unknown", "date to tag the entry with (YYYY-MM-DD)")
-		check  = flag.Bool("check", false, "only validate the trajectory file, read nothing")
+		check  = flag.Bool("check", false, "validate the trajectory file and gate regressions, read nothing")
+		rpct   = flag.Float64("regress-pct", 20, "with -check: fail when a benchmark's newest entry falls more than this percent below its predecessor")
 	)
 	flag.Parse()
 
@@ -109,6 +137,9 @@ func main() {
 			if e.Bench == "" || e.Metric == "" || e.Value <= 0 {
 				log.Fatalf("%s: entry %d is malformed: %+v", *file, i, e)
 			}
+		}
+		if err := gateRegressions(es, *rpct); err != nil {
+			log.Fatalf("%s: %v", *file, err)
 		}
 		fmt.Printf("%s: %d entries ok\n", *file, len(es))
 		return

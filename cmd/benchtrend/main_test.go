@@ -60,3 +60,32 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 		t.Fatal("malformed trajectory accepted")
 	}
 }
+
+func TestGateRegressions(t *testing.T) {
+	e := func(bench string, v float64) Entry {
+		return Entry{Date: "2026-08-08", Commit: "abc1234", Bench: bench, Metric: "sim-instrs/s", Value: v}
+	}
+	cases := []struct {
+		name string
+		es   []Entry
+		fail bool
+	}{
+		{"empty", nil, false},
+		{"single entry passes", []Entry{e("A", 100)}, false},
+		{"improvement passes", []Entry{e("A", 100), e("A", 500)}, false},
+		{"small dip passes", []Entry{e("A", 100), e("A", 85)}, false},
+		{"boundary passes", []Entry{e("A", 100), e("A", 80)}, false},
+		{"regression fails", []Entry{e("A", 100), e("A", 79)}, true},
+		{"only newest pair gates", []Entry{e("A", 500), e("A", 100), e("A", 95)}, false},
+		{"independent benches", []Entry{e("A", 100), e("B", 100), e("A", 99), e("B", 10)}, true},
+	}
+	for _, c := range cases {
+		err := gateRegressions(c.es, 20)
+		if c.fail && err == nil {
+			t.Errorf("%s: regression not caught", c.name)
+		}
+		if !c.fail && err != nil {
+			t.Errorf("%s: spurious failure: %v", c.name, err)
+		}
+	}
+}

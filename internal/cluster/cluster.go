@@ -643,10 +643,16 @@ func (s *fleet) loop(arrivals []request) error {
 	idx := 0
 	for {
 		bestT := ^uint64(0)
+		secondT := ^uint64(0) // earliest non-best event: the step-batch limit
 		bestKind, bestNode := -1, -1
 		consider := func(t uint64, kind, nodeIdx int) {
 			if t < bestT || (t == bestT && (kind < bestKind || (kind == bestKind && nodeIdx < bestNode))) {
+				if bestT < secondT {
+					secondT = bestT
+				}
 				bestT, bestKind, bestNode = t, kind, nodeIdx
+			} else if t < secondT {
+				secondT = t
 			}
 		}
 		if idx < len(arrivals) {
@@ -695,7 +701,7 @@ func (s *fleet) loop(arrivals []request) error {
 		case evStart:
 			s.startRun(s.nodes[bestNode], bestT)
 		case evStep:
-			s.stepNode(s.nodes[bestNode])
+			s.stepNode(s.nodes[bestNode], secondT)
 		}
 		if s.err != nil {
 			return s.err
@@ -898,15 +904,33 @@ func (s *fleet) startRun(n *node, t uint64) {
 }
 
 // stepNode advances one busy node; completions fire via the sentinel
-// commit hook.
-func (s *fleet) stepNode(n *node) {
-	if n.sim.StepCore(0) {
-		return
+// commit hook. The node steps in a batch while its clock stays strictly
+// below limit — the next scheduler event at scan time. Unlike the service
+// loop, stepping can *create* events: a sentinel commit sends acks and
+// catch-up fetches into the network, so each iteration re-peeks the net
+// queue; and the periodic rebalance tick preempts a step whose cycle it
+// reaches, so it caps the batch too. Nodes own disjoint simulators, so no
+// other event time can move while this node runs.
+func (s *fleet) stepNode(n *node, limit uint64) {
+	if s.cfg.RebalanceEvery > 0 && s.nextRebal < limit {
+		limit = s.nextRebal
 	}
-	if len(n.inflight) > 0 && s.err == nil {
-		s.err = fmt.Errorf("cluster: node %d drained with %d in-flight groups", n.idx, len(n.inflight))
+	for {
+		if !n.sim.StepCore(0) {
+			if len(n.inflight) > 0 && s.err == nil {
+				s.err = fmt.Errorf("cluster: node %d drained with %d in-flight groups", n.idx, len(n.inflight))
+			}
+			n.busy = false
+			return
+		}
+		now := n.sim.Core(0).Now()
+		if s.err != nil || now >= limit {
+			return
+		}
+		if at, ok := s.net.nextAt(); ok && at <= now {
+			return
+		}
 	}
-	n.busy = false
 }
 
 // sentinelCommit fires when node n's oldest in-flight commit group becomes

@@ -114,18 +114,6 @@ func DefaultOptions() Options {
 	}
 }
 
-// WithSP enables Speculative Persistence with the given SSB size, keeping
-// the paper's other SP parameters.
-//
-// Deprecated: use New(v, WithSSB(ssbEntries)) instead; this survives for
-// callers that assemble an Options value by hand.
-func (o Options) WithSP(ssbEntries int) Options {
-	spc := cpu.DefaultSPConfig()
-	spc.SSBEntries = ssbEntries
-	o.CPU.SP = spc
-	return o
-}
-
 // System is one simulated machine instance.
 type System struct {
 	MC    memctl.Memory
@@ -154,25 +142,6 @@ func newSystem(o Options, tl *obs.Timeline) *System {
 	h.Register(reg)
 	mc.Register(reg)
 	return &System{MC: mc, Cache: h, CPU: c, reg: reg, tl: tl}
-}
-
-// NewSystem builds a machine from options.
-//
-// Deprecated: use New with functional options (e.g. WithOptions(o)).
-func NewSystem(o Options) *System { return newSystem(o, nil) }
-
-// NewSystemFor builds the machine a variant runs on: the Table 2 baseline,
-// with SP256 hardware for VariantSP.
-//
-// Deprecated: use New(v, options...).
-func NewSystemFor(v Variant, o Options) *System {
-	if v.Speculative() && !o.CPU.SP.Enabled {
-		o = o.WithSP(cpu.DefaultSPConfig().SSBEntries)
-	}
-	if !v.Speculative() {
-		o.CPU.SP = cpu.SPConfig{}
-	}
-	return newSystem(o, nil)
 }
 
 // Obs returns the system's metric registry. Every component registered its

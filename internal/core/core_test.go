@@ -55,17 +55,15 @@ func TestVariantProperties(t *testing.T) {
 	}
 }
 
-func TestNewSystemFor(t *testing.T) {
-	opts := DefaultOptions()
-	// Non-speculative variants must not carry SP hardware even if the
-	// options enable it.
-	withSP := opts.WithSP(128)
-	sys := NewSystemFor(VariantLogPSf, withSP)
+func TestNewVariantRules(t *testing.T) {
+	// Non-speculative variants must not carry SP hardware even if an
+	// option enables it.
+	sys := New(VariantLogPSf, WithSSB(128))
 	if sys.CPU == nil || sys.Cache == nil || sys.MC == nil {
 		t.Fatal("system wiring incomplete")
 	}
 	// SP variant auto-enables SP256 when the options don't.
-	sys = NewSystemFor(VariantSP, DefaultOptions())
+	sys = New(VariantSP)
 	var tb trace.Buffer
 	bld := trace.NewBuilder(&tb)
 	bld.Store(0x1000, 8, isa.NoReg, isa.NoReg)
@@ -85,7 +83,7 @@ func TestNewSystemFor(t *testing.T) {
 func TestMultiControllerSystem(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Controllers = 4
-	sys := NewSystem(opts)
+	sys := New(VariantBase, WithOptions(opts))
 	var tb trace.Buffer
 	bld := trace.NewBuilder(&tb)
 	// Writes interleave across controllers; a pcommit must cover all.
@@ -110,13 +108,15 @@ func TestMultiControllerSystem(t *testing.T) {
 	}
 }
 
-func TestWithSPOverridesSize(t *testing.T) {
-	o := DefaultOptions().WithSP(512)
+func TestWithSSBOverridesSizeOnly(t *testing.T) {
+	c := sysConfig{opts: DefaultOptions()}
+	WithSSB(512)(&c)
+	o := c.opts
 	if !o.CPU.SP.Enabled || o.CPU.SP.SSBEntries != 512 {
-		t.Errorf("WithSP: %+v", o.CPU.SP)
+		t.Errorf("WithSSB: %+v", o.CPU.SP)
 	}
 	if o.CPU.SP.Checkpoints != 4 || o.CPU.SP.BloomBytes != 512 {
-		t.Error("WithSP changed unrelated SP parameters")
+		t.Error("WithSSB changed unrelated SP parameters")
 	}
 }
 

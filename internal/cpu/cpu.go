@@ -164,10 +164,22 @@ const (
 	tailEpochID = -1             // SSB entries buffered after all epochs committed
 )
 
+// robEntry is one in-flight instruction. Beyond the architectural fields
+// (in, seq, done) it carries the scheduler index that replaces the per-cycle
+// map probing of the reference scheduler: a cached readiness time resolved
+// by producers at execute, intrusive waiter-chain and unissued-list links,
+// and the armed flag that admits the entry into the issue scan.
 type robEntry struct {
-	in   isa.Instr
-	seq  uint64 // dispatch order, for memory-dependence checks
-	done uint64 // completion cycle; notIssued until executed
+	in       isa.Instr
+	seq      uint64 // dispatch order, for memory-dependence checks
+	done     uint64 // completion cycle; notIssued until executed
+	rdy      uint64 // max completion time of resolved producers
+	blockSeq uint64 // loads: youngest older same-line in-ROB store at dispatch
+	next     int32  // unissued-list links (ROB slot indices; -1 = none)
+	prev     int32
+	waitNext [2]int32 // waiter-chain links, one per source operand
+	waiting  uint8    // source operands whose producer has not executed
+	armed    bool     // reg-ready at the current cycle (counted in readyCount)
 }
 
 type sbEntry struct {
@@ -223,26 +235,64 @@ type CPU struct {
 
 	now uint64
 
-	src        trace.Source
-	srcDone    bool
-	fetchPos   uint64 // instructions fetched so far
-	fetchQ     []isa.Instr
-	rob        []robEntry
-	unissued   int // ROB entries not yet executed
-	lsqCount   int // loads+stores in ROB
-	pendingReg map[isa.Reg]uint64
+	src      trace.Source
+	bsrc     trace.BlockSource // src's bulk-read path, when it has one
+	blk      []isa.Instr       // current block borrowed from bsrc
+	blkPos   int
+	srcDone  bool
+	fetchPos uint64 // instructions fetched so far
 
-	// Post-retirement store buffer (non-speculative path).
-	storeBuf        []sbEntry
+	// Fetch queue, ROB and post-retirement store buffer are fixed-size
+	// rings dimensioned by the Config, so the steady state allocates
+	// nothing and the ROB never shifts.
+	fq     []isa.Instr
+	fqHead int
+	fqLen  int
+
+	rob     []robEntry
+	robHead int
+	robLen  int
+
+	unissued int // ROB entries not yet executed
+	lsqCount int // loads+stores in ROB
+
+	// Scheduler index. sbrd maps in-flight destination registers to their
+	// producers (replacing the pendingReg map); the unissued doubly-linked
+	// list threads the not-yet-executed ROB entries in dispatch order;
+	// readyCount counts unissued entries whose operands are ready at the
+	// current cycle (armed), letting issue() skip entirely-idle scans; and
+	// wakes schedules the cycle each resolved entry becomes ready.
+	sbrd       *scoreboard
+	unissHead  int32
+	unissTail  int32
+	readyCount int
+	wakes      wakeHeap
+
+	sbuf            []sbEntry
+	sbufHead        int
+	sbufLen         int
 	sbDrainFree     uint64 // next cycle the L1 write port is free
 	storeVisibleMax uint64 // all retired stores visible by this cycle
-	// lineVis tracks, per cache line, when the latest store to it becomes
+	// lineVisT tracks, per cache line, when the latest store to it becomes
 	// visible: clwb is ordered after older stores to the same line.
-	lineVis map[uint64]uint64
-	// storesByLine holds the dispatch sequence numbers of in-ROB stores
-	// per cache line: a load may not issue past an older same-line store.
-	storesByLine map[uint64][]uint64
-	seq          uint64
+	lineVisT *u64Table
+	// lineSeq caches, per cache line, the dispatch sequence of the newest
+	// store to it. Loads snapshot their blocking store at dispatch; entries
+	// for retired stores go stale harmlessly (they compare below the oldest
+	// in-ROB store) and are swept in bulk when the table grows.
+	lineSeq *u64Table
+	// storeSeqQ rings the dispatch sequences of in-ROB stores in FIFO
+	// order; its head is the oldest unretired store (replacing the
+	// storesByLine map — stores dispatch and retire strictly in order).
+	storeSeqQ []uint64
+	ssqHead   int
+	ssqLen    int
+	seq       uint64
+
+	// ref, when non-nil, switches Step to the straight-line reference
+	// scheduler (maps plus linear scans) the indexed fast path is verified
+	// against. See SetReferenceStepping.
+	ref *refSched
 
 	// PMEM completion tracking.
 	flushAckMax   uint64   // all clwb/clflushopt acks received by this cycle
@@ -300,9 +350,16 @@ type CPU struct {
 // New builds a core over the given cache hierarchy and memory.
 func New(cfg Config, h *cache.Hierarchy, mc memctl.Memory) *CPU {
 	c := &CPU{cfg: cfg, h: h, mc: mc,
-		pendingReg:     make(map[isa.Reg]uint64),
-		lineVis:        make(map[uint64]uint64),
-		storesByLine:   make(map[uint64][]uint64),
+		fq:             make([]isa.Instr, cfg.FetchQ),
+		rob:            make([]robEntry, cfg.ROB),
+		sbuf:           make([]sbEntry, cfg.StoreBuf),
+		storeSeqQ:      make([]uint64, cfg.ROB),
+		sbrd:           newScoreboard(cfg.ROB),
+		lineVisT:       newU64Table(64),
+		lineSeq:        newU64Table(64),
+		wakes:          make(wakeHeap, 0, cfg.ROB),
+		unissHead:      -1,
+		unissTail:      -1,
 		fenceBlockedAt: notIssued,
 		specSince:      notIssued,
 	}
@@ -327,13 +384,64 @@ func (c *CPU) Now() uint64 { return c.now }
 // model idle time between request arrivals, and advancing a busy core would
 // let queued work complete in zero time.
 func (c *CPU) AdvanceTo(cycle uint64) {
-	if len(c.fetchQ) > 0 || len(c.rob) > 0 || len(c.storeBuf) > 0 ||
+	if c.fetchQLen() > 0 || c.robCount() > 0 || c.storeBufLen() > 0 ||
 		(c.spEnabled && (len(c.epochs) > 0 || c.ssb.Len() > 0)) {
 		panic("cpu: AdvanceTo while the pipeline is busy")
 	}
 	if cycle > c.now {
 		c.now = cycle
 	}
+}
+
+// fetchQLen, robCount and storeBufLen report pipeline occupancy in whichever
+// representation the active scheduler uses.
+func (c *CPU) fetchQLen() int {
+	if c.ref != nil {
+		return len(c.ref.fetchQ)
+	}
+	return c.fqLen
+}
+
+func (c *CPU) robCount() int {
+	if c.ref != nil {
+		return len(c.ref.rob)
+	}
+	return c.robLen
+}
+
+func (c *CPU) storeBufLen() int {
+	if c.ref != nil {
+		return len(c.ref.storeBuf)
+	}
+	return c.sbufLen
+}
+
+func (c *CPU) pushStoreBuf(e sbEntry) {
+	if c.ref != nil {
+		c.ref.storeBuf = append(c.ref.storeBuf, e)
+		return
+	}
+	i := c.sbufHead + c.sbufLen
+	if i >= len(c.sbuf) {
+		i -= len(c.sbuf)
+	}
+	c.sbuf[i] = e
+	c.sbufLen++
+}
+
+func (c *CPU) popStoreBuf() sbEntry {
+	if c.ref != nil {
+		e := c.ref.storeBuf[0]
+		c.ref.storeBuf = c.ref.storeBuf[1:]
+		return e
+	}
+	e := c.sbuf[c.sbufHead]
+	c.sbufHead++
+	if c.sbufHead == len(c.sbuf) {
+		c.sbufHead = 0
+	}
+	c.sbufLen--
+	return e
 }
 
 // Config returns the core's configuration.
@@ -417,15 +525,25 @@ func (c *CPU) outstandingPcommits() int {
 // noteLineVisible records when a drained store's line content is in place.
 func (c *CPU) noteLineVisible(addr uint64, done uint64) {
 	line := mem.LineAddr(addr)
-	if done > c.lineVis[line] {
-		c.lineVis[line] = done
-	}
-	if len(c.lineVis) > 4096 {
-		for l, v := range c.lineVis {
-			if v <= c.now {
-				delete(c.lineVis, l)
+	if c.ref != nil {
+		if done > c.ref.lineVis[line] {
+			c.ref.lineVis[line] = done
+		}
+		if len(c.ref.lineVis) > 4096 {
+			for l, v := range c.ref.lineVis {
+				if v <= c.now {
+					delete(c.ref.lineVis, l)
+				}
 			}
 		}
+		return
+	}
+	if v, _ := c.lineVisT.get(line); done > v {
+		c.lineVisT.put(line, done)
+	}
+	if c.lineVisT.Len() > 4096 {
+		now := c.now
+		c.lineVisT.filter(func(_, v uint64) bool { return v > now })
 	}
 }
 
@@ -433,33 +551,157 @@ func (c *CPU) noteLineVisible(addr uint64, done uint64) {
 // stores to addr's line are visible.
 func (c *CPU) lineVisibleAt(addr uint64) uint64 {
 	line := mem.LineAddr(addr)
-	v, ok := c.lineVis[line]
+	if c.ref != nil {
+		v, ok := c.ref.lineVis[line]
+		if !ok || v <= c.now {
+			if ok {
+				delete(c.ref.lineVis, line)
+			}
+			return c.now
+		}
+		return v
+	}
+	v, ok := c.lineVisT.get(line)
 	if !ok || v <= c.now {
 		if ok {
-			delete(c.lineVis, line)
+			c.lineVisT.del(line)
 		}
 		return c.now
 	}
 	return v
 }
 
-// memReady reports whether a load at the given dispatch sequence may
-// access memory: no older store to the same line may still be in the ROB
-// (it would forward from the store queue; we model that as issue ordering).
-func (c *CPU) memReady(seq uint64, addr uint64) bool {
-	list := c.storesByLine[mem.LineAddr(addr)]
-	return len(list) == 0 || list[0] >= seq
+// memReadyFast reports whether a load may access memory: the same-line
+// store it snapshotted at dispatch (if any) must have retired. Stores
+// retire strictly in dispatch order, so the blocking store has retired
+// exactly when the oldest in-ROB store is younger than it.
+func (c *CPU) memReadyFast(e *robEntry) bool {
+	return e.blockSeq == 0 || c.ssqLen == 0 || c.storeSeqQ[c.ssqHead] > e.blockSeq
+}
+
+// sweepLineSeq bulk-drops stale newest-store-per-line cache entries once
+// the table outgrows its working set. Entries older than the oldest in-ROB
+// store can never block a load again.
+func (c *CPU) sweepLineSeq() {
+	if c.lineSeq.Len() <= 4096 {
+		return
+	}
+	if c.ssqLen == 0 {
+		c.lineSeq.clear()
+		return
+	}
+	min := c.storeSeqQ[c.ssqHead]
+	c.lineSeq.filter(func(_, s uint64) bool { return s >= min })
 }
 
 // storeBufHasLine reports whether an undrained store targets addr's line.
 func (c *CPU) storeBufHasLine(addr uint64) bool {
 	line := mem.LineAddr(addr)
-	for _, e := range c.storeBuf {
-		if mem.LineAddr(e.addr) == line {
+	if c.ref != nil {
+		for _, e := range c.ref.storeBuf {
+			if mem.LineAddr(e.addr) == line {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < c.sbufLen; i++ {
+		j := c.sbufHead + i
+		if j >= len(c.sbuf) {
+			j -= len(c.sbuf)
+		}
+		if mem.LineAddr(c.sbuf[j].addr) == line {
 			return true
 		}
 	}
 	return false
+}
+
+// arm marks an operand-resolved entry issuable now, or schedules the wakeup
+// for the cycle its last operand completes.
+func (c *CPU) arm(slot int32, e *robEntry) {
+	if e.rdy <= c.now {
+		e.armed = true
+		c.readyCount++
+	} else {
+		c.wakes.push(wake{t: e.rdy, slot: slot, seq: e.seq})
+	}
+}
+
+// drainWakes arms every entry whose readiness time has arrived. It runs at
+// the top of each Step, after now advanced.
+func (c *CPU) drainWakes() {
+	for len(c.wakes) > 0 && c.wakes[0].t <= c.now {
+		w := c.wakes.pop()
+		e := &c.rob[w.slot]
+		if e.seq != w.seq || e.done != notIssued || e.armed || e.waiting != 0 {
+			continue // slot reused or already handled
+		}
+		e.armed = true
+		c.readyCount++
+	}
+}
+
+// releaseChain resolves every waiter chained on a scoreboard slot with the
+// producer's completion time, arming those whose last operand this was.
+func (c *CPU) releaseChain(sl *sbdSlot, done uint64) {
+	node := sl.chain
+	sl.chain = -1
+	for node >= 0 {
+		slot := node >> 1
+		si := node & 1
+		w := &c.rob[slot]
+		node = w.waitNext[si]
+		w.waitNext[si] = -1
+		if done > w.rdy {
+			w.rdy = done
+		}
+		if w.waiting--; w.waiting == 0 {
+			c.arm(slot, w)
+		}
+	}
+}
+
+// resolveReg publishes a producer's completion time and wakes its waiters.
+func (c *CPU) resolveReg(reg uint32, done uint64) {
+	sl := c.sbrd.lookup(reg)
+	if sl == nil {
+		return // producer record displaced (register-rewriting trace)
+	}
+	sl.done = done
+	if sl.chain >= 0 {
+		c.releaseChain(sl, done)
+	}
+}
+
+// retireDst retires a producer: its register leaves the scoreboard, so
+// later consumers read it as architecturally ready.
+func (c *CPU) retireDst(reg uint32) {
+	sl := c.sbrd.lookup(reg)
+	if sl == nil {
+		return
+	}
+	if sl.chain >= 0 {
+		// Waiters orphaned by a register rewrite: an absent key reads as
+		// ready, exactly as the reference scheduler's map would.
+		c.releaseChain(sl, 0)
+	}
+	c.sbrd.del(reg)
+}
+
+// unlinkUnissued removes an entry from the unissued list when it issues.
+func (c *CPU) unlinkUnissued(slot int32, e *robEntry) {
+	if e.prev >= 0 {
+		c.rob[e.prev].next = e.next
+	} else {
+		c.unissHead = e.next
+	}
+	if e.next >= 0 {
+		c.rob[e.next].prev = e.prev
+	} else {
+		c.unissTail = e.prev
+	}
+	e.next, e.prev = -1, -1
 }
 
 // CommitEvent is one committed effect on the memory system: a store or

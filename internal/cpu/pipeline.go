@@ -18,9 +18,18 @@ func (c *CPU) Run(src trace.Source) Stats {
 
 // Start binds the trace source without running it, for callers that drive
 // the core step by step (the multi-core harness interleaves several cores
-// by advancing whichever has the earliest Now).
+// by advancing whichever has the earliest Now). When the source implements
+// trace.BlockSource the core pulls instructions in bulk, eliminating the
+// per-instruction interface call; the reference scheduler always uses the
+// per-instruction path.
 func (c *CPU) Start(src trace.Source) {
 	c.src = src
+	c.bsrc = nil
+	if c.ref == nil {
+		c.bsrc, _ = src.(trace.BlockSource)
+	}
+	c.blk = nil
+	c.blkPos = 0
 	c.srcDone = false
 	c.idleSteps = 0
 	// Fetch position is relative to the bound source. A core restarted on
@@ -36,9 +45,13 @@ func (c *CPU) Finished() bool { return c.finished() }
 // or a jump to the next future event when no stage can make progress. It
 // returns false once the core is finished.
 func (c *CPU) Step() bool {
+	if c.ref != nil {
+		return c.refStep()
+	}
 	if c.finished() {
 		return false
 	}
+	c.drainWakes()
 	if c.cycleHook != nil {
 		c.cycleHook(c)
 	}
@@ -63,7 +76,7 @@ func (c *CPU) Step() bool {
 
 // finished reports whether all pipeline and persistence state has drained.
 func (c *CPU) finished() bool {
-	if !c.srcDone || len(c.fetchQ) > 0 || len(c.rob) > 0 || len(c.storeBuf) > 0 {
+	if !c.srcDone || c.fetchQLen() > 0 || c.robCount() > 0 || c.storeBufLen() > 0 {
 		return false
 	}
 	if c.spEnabled && (len(c.epochs) > 0 || c.ssb.Len() > 0) {
@@ -81,10 +94,16 @@ func (c *CPU) nextEvent() uint64 {
 			next = t
 		}
 	}
-	// ROB completions and readiness.
+	// ROB completions and readiness. Unresolved entries (waiting > 0) have
+	// no bounded readiness time, matching the reference scheduler's
+	// regUnknown sentinel falling outside the considered range.
 	window := c.cfg.IssueWindow
-	for i := range c.rob {
-		e := &c.rob[i]
+	for i := 0; i < c.robLen; i++ {
+		j := c.robHead + i
+		if j >= len(c.rob) {
+			j -= len(c.rob)
+		}
+		e := &c.rob[j]
 		if e.done != notIssued {
 			consider(e.done)
 			continue
@@ -93,7 +112,9 @@ func (c *CPU) nextEvent() uint64 {
 			continue
 		}
 		window--
-		consider(c.readyAt(e.in))
+		if e.waiting == 0 {
+			consider(e.rdy)
+		}
 	}
 	consider(c.sbDrainFree)
 	consider(c.storeVisibleMax)
@@ -112,20 +133,6 @@ func (c *CPU) nextEvent() uint64 {
 	return next
 }
 
-// readyAt returns the cycle an instruction's source operands are ready.
-func (c *CPU) readyAt(in isa.Instr) uint64 {
-	t := c.now
-	for _, src := range []isa.Reg{in.Src1, in.Src2} {
-		if src == isa.NoReg {
-			continue
-		}
-		if r, ok := c.pendingReg[src]; ok && r > t {
-			t = r
-		}
-	}
-	return t
-}
-
 // fetch pulls up to FetchWidth instructions into the fetch queue. A cycle
 // in which the full queue prevents any fetch counts as a fetch-queue stall
 // (Figure 10).
@@ -133,104 +140,188 @@ func (c *CPU) fetch() bool {
 	if c.srcDone {
 		return false
 	}
-	if len(c.fetchQ) >= c.cfg.FetchQ {
+	if c.fqLen >= c.cfg.FetchQ {
 		c.stats.FetchQStallCycles++
 		return false
 	}
 	fetched := false
-	for i := 0; i < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQ; i++ {
-		in, ok := c.src.Next()
-		if !ok {
-			c.srcDone = true
-			break
+	for i := 0; i < c.cfg.FetchWidth && c.fqLen < c.cfg.FetchQ; i++ {
+		var in isa.Instr
+		if c.blkPos < len(c.blk) {
+			in = c.blk[c.blkPos]
+			c.blkPos++
+		} else if c.bsrc != nil {
+			c.blk = c.bsrc.NextBlock()
+			if len(c.blk) == 0 {
+				c.srcDone = true
+				break
+			}
+			in = c.blk[0]
+			c.blkPos = 1
+		} else {
+			var ok bool
+			in, ok = c.src.Next()
+			if !ok {
+				c.srcDone = true
+				break
+			}
 		}
 		c.fetchPos++
-		c.fetchQ = append(c.fetchQ, in)
+		j := c.fqHead + c.fqLen
+		if j >= len(c.fq) {
+			j -= len(c.fq)
+		}
+		c.fq[j] = in
+		c.fqLen++
 		fetched = true
 	}
 	return fetched
 }
 
 // dispatch moves instructions from the fetch queue into the ROB, bounded by
-// ROB, issue-queue, and LSQ occupancy.
+// ROB, issue-queue, and LSQ occupancy. Source dependences resolve here,
+// once: an executed producer contributes its completion time to the entry's
+// cached readiness, an in-flight one links the entry onto its waiter chain.
 func (c *CPU) dispatch() bool {
 	moved := false
-	for i := 0; i < c.cfg.IssueWidth && len(c.fetchQ) > 0; i++ {
-		if len(c.rob) >= c.cfg.ROB || c.unissued >= c.cfg.IssueQ {
+	for i := 0; i < c.cfg.IssueWidth && c.fqLen > 0; i++ {
+		if c.robLen >= c.cfg.ROB || c.unissued >= c.cfg.IssueQ {
 			break
 		}
-		in := c.fetchQ[0]
+		in := c.fq[c.fqHead]
 		if in.Op.IsMemAccess() && c.lsqCount >= c.cfg.LSQ {
 			break
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead++
+		if c.fqHead == len(c.fq) {
+			c.fqHead = 0
+		}
+		c.fqLen--
 		if in.Op.IsMemAccess() {
 			c.lsqCount++
 		}
-		if in.Dst != isa.NoReg {
-			c.pendingReg[in.Dst] = regUnknown
-		}
 		c.seq++
-		if in.Op == isa.Store {
-			line := mem.LineAddr(in.Addr)
-			c.storesByLine[line] = append(c.storesByLine[line], c.seq)
+		slot := c.robHead + c.robLen
+		if slot >= len(c.rob) {
+			slot -= len(c.rob)
 		}
-		c.rob = append(c.rob, robEntry{in: in, seq: c.seq, done: notIssued})
+		c.robLen++
+		e := &c.rob[slot]
+		*e = robEntry{in: in, seq: c.seq, done: notIssued, next: -1, prev: -1, waitNext: [2]int32{-1, -1}}
+		// Destination before sources: a self-dependent instruction must
+		// wait on itself, as it would under the always-re-read map.
+		if in.Dst != isa.NoReg {
+			c.sbrd.insertUnknown(uint32(in.Dst))
+		}
+		c.addDep(int32(slot), e, 0, in.Src1)
+		c.addDep(int32(slot), e, 1, in.Src2)
+		switch in.Op {
+		case isa.Store:
+			line := mem.LineAddr(in.Addr)
+			c.lineSeq.put(line, c.seq)
+			c.sweepLineSeq()
+			j := c.ssqHead + c.ssqLen
+			if j >= len(c.storeSeqQ) {
+				j -= len(c.storeSeqQ)
+			}
+			c.storeSeqQ[j] = c.seq
+			c.ssqLen++
+		case isa.Load:
+			if s, ok := c.lineSeq.get(mem.LineAddr(in.Addr)); ok && c.ssqLen > 0 && s >= c.storeSeqQ[c.ssqHead] {
+				e.blockSeq = s
+			}
+		}
+		if c.unissTail >= 0 {
+			c.rob[c.unissTail].next = int32(slot)
+			e.prev = c.unissTail
+		} else {
+			c.unissHead = int32(slot)
+		}
+		c.unissTail = int32(slot)
 		c.unissued++
+		if e.waiting == 0 {
+			c.arm(int32(slot), e)
+		}
 		moved = true
 	}
 	return moved
 }
 
+// addDep resolves one source operand at dispatch.
+func (c *CPU) addDep(slot int32, e *robEntry, si int, src isa.Reg) {
+	if src == isa.NoReg {
+		return
+	}
+	sl := c.sbrd.lookup(uint32(src))
+	if sl == nil {
+		return // producer already retired: architecturally ready
+	}
+	if sl.done != regUnknown {
+		if sl.done > e.rdy {
+			e.rdy = sl.done
+		}
+		return
+	}
+	e.waitNext[si] = sl.chain
+	sl.chain = slot<<1 | int32(si)
+	e.waiting++
+}
+
 // issue executes up to IssueWidth ready instructions from the scheduler
-// window (oldest first).
+// window (oldest first). The scan walks only unissued entries and bails as
+// soon as no armed entry remains, but examines candidates in exactly the
+// reference order and count.
 func (c *CPU) issue() bool {
+	if c.readyCount == 0 {
+		return false
+	}
 	issued := 0
 	examined := 0
-	for i := range c.rob {
-		if issued >= c.cfg.IssueWidth || examined >= c.cfg.IssueWindow {
+	for n := c.unissHead; n >= 0; {
+		if issued >= c.cfg.IssueWidth || examined >= c.cfg.IssueWindow || c.readyCount == 0 {
 			break
 		}
-		e := &c.rob[i]
-		if e.done != notIssued {
-			continue
-		}
+		e := &c.rob[n]
+		next := e.next
 		examined++
-		if c.readyAt(e.in) > c.now {
-			continue
+		if e.armed && (e.in.Op != isa.Load || c.memReadyFast(e)) {
+			c.execute(e)
+			c.unlinkUnissued(n, e)
+			e.armed = false
+			c.readyCount--
+			c.unissued--
+			issued++
 		}
-		if e.in.Op == isa.Load && !c.memReady(e.seq, e.in.Addr) {
-			continue
-		}
-		c.execute(e)
-		c.unissued--
-		issued++
+		n = next
 	}
 	return issued > 0
 }
 
-// execute computes an instruction's completion time.
+// execute computes an instruction's completion time and publishes its
+// result register to waiting consumers.
 func (c *CPU) execute(e *robEntry) {
-	in := e.in
+	e.done = c.computeDone(e.in)
+	if e.in.Dst != isa.NoReg {
+		c.resolveReg(uint32(e.in.Dst), e.done)
+	}
+}
+
+// computeDone models the execution stage's latency.
+func (c *CPU) computeDone(in isa.Instr) uint64 {
 	switch in.Op {
 	case isa.ALU:
 		lat := uint64(in.Lat)
 		if lat == 0 {
 			lat = 1
 		}
-		e.done = c.now + lat
+		return c.now + lat
 	case isa.Load:
-		e.done = c.loadDone(in)
-	case isa.Store:
-		// Address/data are ready; the write happens at retirement.
-		e.done = c.now + 1
+		return c.loadDone(in)
 	default:
-		// PMEM instructions and fences carry no execution stage; their
-		// work happens at retirement.
-		e.done = c.now + 1
-	}
-	if in.Dst != isa.NoReg {
-		c.pendingReg[in.Dst] = e.done
+		// Stores complete when address/data are ready (the write happens
+		// at retirement); PMEM instructions and fences carry no execution
+		// stage either.
+		return c.now + 1
 	}
 }
 
@@ -271,8 +362,8 @@ func (c *CPU) loadDone(in isa.Instr) uint64 {
 func (c *CPU) retire() bool {
 	retired := 0
 	blocked := false
-	for retired < c.cfg.RetireWidth && len(c.rob) > 0 {
-		e := &c.rob[0]
+	for retired < c.cfg.RetireWidth && c.robLen > 0 {
+		e := &c.rob[c.robHead]
 		if e.done == notIssued || e.done > c.now {
 			break
 		}
@@ -282,24 +373,26 @@ func (c *CPU) retire() bool {
 			break // structural or ordering stall at the head
 		}
 		if e.in.Dst != isa.NoReg {
-			delete(c.pendingReg, e.in.Dst)
+			c.retireDst(uint32(e.in.Dst))
 		}
 		if e.in.Op.IsMemAccess() {
 			c.lsqCount--
 		}
 		if e.in.Op == isa.Store {
-			line := mem.LineAddr(e.in.Addr)
-			list := c.storesByLine[line]
-			if len(list) == 0 || list[0] != e.seq {
+			if c.ssqLen == 0 || c.storeSeqQ[c.ssqHead] != e.seq {
 				panic("cpu: store retirement out of line order")
 			}
-			if len(list) == 1 {
-				delete(c.storesByLine, line)
-			} else {
-				c.storesByLine[line] = list[1:]
+			c.ssqHead++
+			if c.ssqHead == len(c.storeSeqQ) {
+				c.ssqHead = 0
 			}
+			c.ssqLen--
 		}
-		c.rob = c.rob[1:]
+		c.robHead++
+		if c.robHead == len(c.rob) {
+			c.robHead = 0
+		}
+		c.robLen--
 		c.stats.Committed++
 		retired++
 	}
@@ -366,11 +459,11 @@ func (c *CPU) retireStore(in isa.Instr) bool {
 		c.noteStoreWhilePcommit()
 		return true
 	}
-	if len(c.storeBuf) >= c.cfg.StoreBuf {
+	if c.storeBufLen() >= c.cfg.StoreBuf {
 		c.lastStall = &c.stats.StallStoreBufCycles
 		return false
 	}
-	c.storeBuf = append(c.storeBuf, sbEntry{addr: in.Addr, size: in.Size})
+	c.pushStoreBuf(sbEntry{addr: in.Addr, size: in.Size})
 	c.stats.Stores++
 	c.noteStoreWhilePcommit()
 	return true
@@ -465,7 +558,7 @@ func (c *CPU) retirePcommit() bool {
 // (the one currently retiring): everything fetched minus everything still
 // queued behind or at it.
 func (c *CPU) retirePos() uint64 {
-	return c.fetchPos - uint64(len(c.fetchQ)) - uint64(len(c.rob))
+	return c.fetchPos - uint64(c.fetchQLen()) - uint64(c.robCount())
 }
 
 // retireFence handles sfence/mfence, including speculation entry and child
@@ -506,7 +599,7 @@ func (c *CPU) retireFence() bool {
 
 	// Non-speculative (or tail-draining) fence: wait for stores, flushes
 	// and the SSB to drain.
-	storesDone := len(c.storeBuf) == 0 && c.storeVisibleMax <= c.now
+	storesDone := c.storeBufLen() == 0 && c.storeVisibleMax <= c.now
 	ssbDone := !c.spEnabled || c.ssb.Len() == 0
 	flushesDone := c.flushAckMax <= c.now
 	pcommitsDone := c.pcommitMax <= c.now
@@ -563,11 +656,10 @@ func (c *CPU) closeFenceStall() {
 // drainStoreBuffer issues one buffered (non-speculative) store per cycle to
 // the cache.
 func (c *CPU) drainStoreBuffer() bool {
-	if len(c.storeBuf) == 0 || c.sbDrainFree > c.now {
+	if c.storeBufLen() == 0 || c.sbDrainFree > c.now {
 		return false
 	}
-	e := c.storeBuf[0]
-	c.storeBuf = c.storeBuf[1:]
+	e := c.popStoreBuf()
 	done := c.h.Store(e.addr, c.now)
 	c.logCommit(isa.Store, e.addr)
 	if done > c.storeVisibleMax {

@@ -4,6 +4,7 @@ import (
 	"specpersist/internal/isa"
 	"specpersist/internal/obs"
 	"specpersist/internal/sp"
+	"specpersist/internal/trace"
 )
 
 // spStoreEntry builds the SSB entry for a speculatively retired store.
@@ -227,12 +228,6 @@ func (c *CPU) exitSpeculation() {
 	c.boundaryState = 0
 }
 
-// Seeker is the optional trace-source capability rollback needs: the CPU
-// rewinds the stream to the oldest checkpoint on an abort.
-type Seeker interface {
-	Seek(pos uint64)
-}
-
 // ProbeResult classifies a coherence probe's outcome at this core.
 type ProbeResult int
 
@@ -256,7 +251,7 @@ const (
 // If the oldest epoch is already mid-commit (SSB entries partially
 // drained), the probe is deferred instead — the directory NACKs the
 // requester and retries once the epoch finishes committing. The trace
-// source must implement Seeker for rollback to be possible.
+// source must implement trace.Seeker for rollback to be possible.
 func (c *CPU) Probe(addr uint64) ProbeResult {
 	if !c.spEnabled || !c.speculating() || !c.blt.Conflicts(addr) {
 		return ProbeMiss
@@ -277,7 +272,7 @@ func (c *CPU) CoherenceProbe(addr uint64) bool {
 // rollback squashes all speculative state and restarts execution at the
 // oldest checkpoint.
 func (c *CPU) rollback() {
-	seeker, ok := c.src.(Seeker)
+	seeker, ok := c.src.(trace.Seeker)
 	if !ok {
 		panic("cpu: rollback requires a seekable trace source")
 	}
@@ -304,13 +299,30 @@ func (c *CPU) rollback() {
 	c.epochs = nil
 	c.ssb.Flush()
 	c.exitSpeculation()
-	c.fetchQ = nil
-	c.rob = nil
+	if c.ref != nil {
+		c.ref.fetchQ = nil
+		c.ref.rob = nil
+		c.ref.storeBuf = nil
+		clear(c.ref.pendingReg)
+		clear(c.ref.storesByLine)
+	} else {
+		c.fqHead, c.fqLen = 0, 0
+		c.robHead, c.robLen = 0, 0
+		c.sbufHead, c.sbufLen = 0, 0
+		c.ssqHead, c.ssqLen = 0, 0
+		c.unissHead, c.unissTail = -1, -1
+		c.readyCount = 0
+		c.wakes = c.wakes[:0]
+		c.sbrd.clear()
+		// The cached trace block is past the resume point; drop it so the
+		// next fetch re-reads from the seeked position. Stale lineSeq
+		// entries are harmless: squashed stores' sequences compare below
+		// any store dispatched after the rollback.
+		c.blk = nil
+		c.blkPos = 0
+	}
 	c.unissued = 0
 	c.lsqCount = 0
-	c.storeBuf = nil
-	clear(c.pendingReg)
-	clear(c.storesByLine)
 	seeker.Seek(resume)
 	c.fetchPos = resume
 	c.srcDone = false

@@ -137,10 +137,18 @@ func (e *Env) StoreU64(addr uint64, v uint64, dataDep, addrDep isa.Reg) {
 
 // LoadBytes reads n bytes at addr, emitting one load per 8-byte chunk. The
 // returned register is the last chunk's destination (a dependence handle
-// for consumers of the data).
+// for consumers of the data). The buffer is freshly allocated; hot paths
+// that read into the same buffer every call use LoadBytesInto.
 func (e *Env) LoadBytes(addr uint64, n int, addrDep isa.Reg) ([]byte, isa.Reg) {
 	buf := make([]byte, n)
-	e.M.Read(addr, buf)
+	return buf, e.LoadBytesInto(buf, addr, addrDep)
+}
+
+// LoadBytesInto is LoadBytes reading into a caller-owned buffer (len(dst)
+// bytes), so a reused scratch buffer costs no allocation per call.
+func (e *Env) LoadBytesInto(dst []byte, addr uint64, addrDep isa.Reg) isa.Reg {
+	n := len(dst)
+	e.M.Read(addr, dst)
 	var last isa.Reg
 	for off := 0; off < n; off += 8 {
 		sz := n - off
@@ -149,7 +157,7 @@ func (e *Env) LoadBytes(addr uint64, n int, addrDep isa.Reg) ([]byte, isa.Reg) {
 		}
 		last = e.B.Load(addr+uint64(off), sz, addrDep)
 	}
-	return buf, last
+	return last
 }
 
 // StoreBytes writes src at addr, emitting one store per 8-byte chunk.

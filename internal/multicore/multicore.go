@@ -231,8 +231,8 @@ func (s *Sim) retryDeferred(cs *coreState) {
 	}
 }
 
-// SetSource binds core i's trace source. Sources must implement cpu.Seeker
-// (e.g. *trace.Buffer) for rollbacks to be possible.
+// SetSource binds core i's trace source. Sources must implement
+// trace.Seeker (e.g. *trace.Buffer) for rollbacks to be possible.
 func (s *Sim) SetSource(i int, src trace.Source) { s.cores[i].src = src }
 
 // StartCore binds a trace source to core i and marks it runnable, for
@@ -283,25 +283,54 @@ func (s *Sim) Run(srcs []trace.Source) Stats {
 		cs.done = false
 	}
 	for {
+		// Pick the earliest core and the earliest *other* core's time: the
+		// pick keeps the floor until its clock reaches that limit, so one
+		// scan pays for a whole batch of steps instead of one.
 		var pick *coreState
-		for _, cs := range s.cores {
+		pi := -1
+		for i, cs := range s.cores {
 			if cs.done {
 				continue
 			}
 			if pick == nil || cs.cpu.Now() < pick.cpu.Now() {
-				pick = cs
+				pick, pi = cs, i
 			}
 		}
 		if pick == nil {
 			break
 		}
-		s.retryDeferred(pick)
-		if !pick.cpu.Step() {
-			pick.done = true
-			// Anything still NACKed resolves trivially: the core is no
-			// longer speculating, so the retried probes would all miss.
-			pick.deferred = nil
-			clear(pick.deferredAt)
+		limit := ^uint64(0)
+		li := -1
+		for i, cs := range s.cores {
+			if cs.done || i == pi {
+				continue
+			}
+			if n := cs.cpu.Now(); n < limit {
+				limit, li = n, i
+			}
+		}
+		// Inner batch: other cores' clocks only ever increase (a delivered
+		// probe can add a rollback penalty, never rewind), so while the
+		// pick stays strictly below the cached limit — or ties it from a
+		// lower index — it would win the scan again; re-scanning is wasted
+		// work. Each step still retries NACKed probes first, exactly as the
+		// one-step-per-scan loop did.
+		for {
+			s.retryDeferred(pick)
+			if !pick.cpu.Step() {
+				pick.done = true
+				// Anything still NACKed resolves trivially: the core is no
+				// longer speculating, so the retried probes would all miss.
+				pick.deferred = nil
+				clear(pick.deferredAt)
+				break
+			}
+			if li == -1 {
+				continue // sole live core: run it to completion
+			}
+			if n := pick.cpu.Now(); n > limit || (n == limit && pi > li) {
+				break
+			}
 		}
 	}
 	return s.Stats()

@@ -28,6 +28,9 @@ type StringSwap struct {
 	idx   uint64
 	n     uint64
 	swaps uint64
+	// Swap staging: both strings are live at once during the exchange, so
+	// each gets its own reused buffer (no per-swap allocation).
+	bufI, bufJ [StringLen]byte
 }
 
 // NewStringSwap creates an array of n strings; slot i initially holds the
@@ -94,10 +97,10 @@ func (s *StringSwap) Apply(key uint64) {
 	tx.Log(ij, 8, isa.NoReg)
 	tx.SetLogged()
 
-	bi, ri := s.env.LoadBytes(ai, StringLen, isa.NoReg)
-	bj, rj := s.env.LoadBytes(aj, StringLen, isa.NoReg)
-	s.stBytes(tx, ai, bj, rj)
-	s.stBytes(tx, aj, bi, ri)
+	ri := s.env.LoadBytesInto(s.bufI[:], ai, isa.NoReg)
+	rj := s.env.LoadBytesInto(s.bufJ[:], aj, isa.NoReg)
+	s.stBytes(tx, ai, s.bufJ[:], rj)
+	s.stBytes(tx, aj, s.bufI[:], ri)
 	vi, vri := s.ld(ii, isa.NoReg)
 	vj, vrj := s.ld(ij, isa.NoReg)
 	s.st(tx, ii, vj, vrj, isa.NoReg)

@@ -390,6 +390,11 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	sim := multicore.New(multicore.Config{Cores: cfg.Cores, Options: opts, Timeline: cfg.Timeline})
+	if debugRefStepping {
+		for k := 0; k < cfg.Cores; k++ {
+			sim.Core(k).SetReferenceStepping(true)
+		}
+	}
 	s := &server{cfg: cfg, sim: sim, tl: cfg.Timeline, reg: obs.NewRegistry()}
 	s.registerCounters()
 
@@ -507,10 +512,16 @@ func (s *server) loop(arrivals []request) error {
 	idx := 0
 	for {
 		bestT := ^uint64(0)
+		secondT := ^uint64(0) // earliest non-best event: the step-batch limit
 		bestKind, bestShard := -1, -1
 		consider := func(t uint64, kind, shardIdx int) {
 			if t < bestT || (t == bestT && (kind < bestKind || (kind == bestKind && shardIdx < bestShard))) {
+				if bestT < secondT {
+					secondT = bestT
+				}
 				bestT, bestKind, bestShard = t, kind, shardIdx
+			} else if t < secondT {
+				secondT = t
 			}
 		}
 		if idx < len(arrivals) {
@@ -534,7 +545,7 @@ func (s *server) loop(arrivals []request) error {
 		case evStart:
 			s.startRun(s.shards[bestShard], bestShard, bestT)
 		case evStep:
-			s.stepShard(s.shards[bestShard], bestShard)
+			s.stepShard(s.shards[bestShard], bestShard, secondT)
 		}
 		if s.err != nil {
 			return s.err
@@ -642,15 +653,27 @@ func (s *server) completeGroup(sh *shard, k int) {
 
 // stepShard advances one busy core; completions happen via the commit
 // hook as sentinels drain, and the run ends when the core drains fully.
-func (s *server) stepShard(sh *shard, k int) {
-	if s.sim.StepCore(k) {
-		return
+// The core steps in a batch while its clock stays strictly below limit —
+// the next scheduler event. Every competing event time is frozen while
+// this core runs (arrivals are precomputed, idle shards' start times
+// depend only on their queue and their own clock, and other busy cores'
+// clocks only increase), so re-scanning per cycle would pick this core
+// again; the batch is exact, not approximate. Equal-cycle events win
+// against a step (evStep orders last), hence the strict comparison.
+func (s *server) stepShard(sh *shard, k int, limit uint64) {
+	for {
+		if !s.sim.StepCore(k) {
+			if len(sh.inflight) > 0 && s.err == nil {
+				s.err = fmt.Errorf("service: shard %d drained with %d in-flight groups", k, len(sh.inflight))
+			}
+			s.tl.Span(obs.TrackService, "service.run", sh.runStart, s.sim.Core(k).Now())
+			sh.busy = false
+			return
+		}
+		if s.err != nil || s.sim.Core(k).Now() >= limit {
+			return
+		}
 	}
-	if len(sh.inflight) > 0 && s.err == nil {
-		s.err = fmt.Errorf("service: shard %d drained with %d in-flight groups", k, len(sh.inflight))
-	}
-	s.tl.Span(obs.TrackService, "service.run", sh.runStart, s.sim.Core(k).Now())
-	sh.busy = false
 }
 
 // result assembles the Result from the finished server.
@@ -677,3 +700,9 @@ func (s *server) result() Result {
 
 // debugCompletions, when set by tests, observes every (arrival, done) pair.
 var debugCompletions func(shard, reqID int, at, done uint64)
+
+// debugRefStepping, when set by tests, switches every core to the CPU's
+// reference (map-based) stepping mode before the run, so the
+// stepping-equivalence suite can compare a whole service run against the
+// production fast path.
+var debugRefStepping bool

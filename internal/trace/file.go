@@ -80,16 +80,37 @@ func (w *Writer) Flush() error {
 }
 
 // Reader streams instructions from a binary trace file. It implements
-// Source; decode errors terminate the stream and are available from Err.
+// Source and BlockSource; decode errors terminate the stream and are
+// available from Err. When the underlying reader is an io.Seeker (a file),
+// Reader also implements Seeker and Rewinder, which makes file replay a
+// valid rollback target for speculative runs: Seek re-decodes the stream
+// from the record start, reproducing the identical instruction sequence.
 type Reader struct {
 	r        *bufio.Reader
+	src      io.Reader
+	seeker   io.Seeker // non-nil when src supports random access
+	startOff int64     // src offset of the file header
 	prevAddr uint64
+	pos      uint64 // instructions handed out so far
 	err      error
 	done     bool
+	slab     []isa.Instr // reusable block-decode slab
 }
+
+// readerBlock is the block-decode slab capacity: large enough to amortize
+// the per-block call, small enough to stay cache-resident.
+const readerBlock = 1024
 
 // NewReader validates the header and returns a streaming reader.
 func NewReader(r io.Reader) (*Reader, error) {
+	rd := &Reader{src: r}
+	if s, ok := r.(io.Seeker); ok {
+		off, err := s.Seek(0, io.SeekCurrent)
+		if err == nil {
+			rd.seeker = s
+			rd.startOff = off
+		}
+	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -105,7 +126,59 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if ver != fileVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
-	return &Reader{r: br}, nil
+	rd.r = br
+	return rd, nil
+}
+
+// NextBlock implements BlockSource: it decodes up to readerBlock
+// instructions into a reusable slab and returns the filled prefix. An empty
+// result means the stream is exhausted (or a decode error stopped it; see
+// Err).
+func (r *Reader) NextBlock() []isa.Instr {
+	if r.slab == nil {
+		r.slab = make([]isa.Instr, 0, readerBlock)
+	}
+	r.slab = r.slab[:0]
+	for len(r.slab) < cap(r.slab) {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		r.slab = append(r.slab, in)
+	}
+	return r.slab
+}
+
+// Rewind restarts the stream from the first record. It panics when the
+// underlying reader does not support random access (pipe input).
+func (r *Reader) Rewind() {
+	if r.seeker == nil {
+		panic("trace: rewind on a non-seekable trace stream")
+	}
+	// Re-read past the (already validated) header.
+	if _, err := r.seeker.Seek(r.startOff+int64(len(fileMagic))+1, io.SeekStart); err != nil {
+		panic(fmt.Sprintf("trace: rewind: %v", err))
+	}
+	r.r.Reset(r.src)
+	r.prevAddr = 0
+	r.pos = 0
+	r.err = nil
+	r.done = false
+}
+
+// Seek moves the read position to an absolute instruction index (the
+// rollback-replay contract; see Seeker). Backward seeks require a seekable
+// underlying reader; either direction panics when the index lies past the
+// end of the stream, mirroring Buffer.Seek.
+func (r *Reader) Seek(pos uint64) {
+	if pos < r.pos {
+		r.Rewind()
+	}
+	for r.pos < pos {
+		if _, ok := r.Next(); !ok {
+			panic("trace: seek past end of trace stream")
+		}
+	}
 }
 
 // Next implements Source.
@@ -152,6 +225,7 @@ func (r *Reader) Next() (isa.Instr, bool) {
 	}
 	addr := uint64(int64(r.prevAddr) + unzigzag(delta))
 	r.prevAddr = addr
+	r.pos++
 	return isa.Instr{
 		Op:   isa.Op(op),
 		Addr: addr,

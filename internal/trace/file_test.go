@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -166,4 +167,123 @@ func TestFileCompression(t *testing.T) {
 	if perRecord > 12 {
 		t.Errorf("%.1f bytes/record, want <= 12", perRecord)
 	}
+}
+
+// encodeTrace writes ins to a fresh buffer and returns the encoded bytes.
+func encodeTrace(t *testing.T, ins []isa.Instr) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range ins {
+		w.Emit(in)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func seqTrace(n int) []isa.Instr {
+	ins := make([]isa.Instr, n)
+	for i := range ins {
+		ins[i] = isa.Instr{Op: isa.Store, Addr: uint64(0x1000 + i*8), Size: 8, Src1: isa.Reg(i + 1)}
+	}
+	return ins
+}
+
+func TestReaderNextBlock(t *testing.T) {
+	// More than two slabs' worth so block boundaries and the short tail are
+	// both exercised.
+	ins := seqTrace(2*readerBlock + 100)
+	r, err := NewReader(bytes.NewReader(encodeTrace(t, ins)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []isa.Instr
+	blocks := 0
+	for {
+		blk := r.NextBlock()
+		if len(blk) == 0 {
+			break
+		}
+		blocks++
+		out = append(out, blk...) // copy: the slab is reused
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if blocks != 3 {
+		t.Errorf("blocks = %d, want 3", blocks)
+	}
+	if len(out) != len(ins) {
+		t.Fatalf("decoded %d, want %d", len(out), len(ins))
+	}
+	for i := range ins {
+		if out[i] != ins[i] {
+			t.Fatalf("record %d: %+v != %+v", i, out[i], ins[i])
+		}
+	}
+}
+
+func TestReaderSeekRewind(t *testing.T) {
+	ins := seqTrace(2000)
+	r, err := NewReader(bytes.NewReader(encodeTrace(t, ins)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a prefix through the block path, then seek backward: the
+	// rollback-replay contract requires the identical suffix.
+	for i := 0; i < 1500; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+	}
+	r.Seek(700)
+	for i := 700; i < len(ins); i++ {
+		in, ok := r.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d after seek", i)
+		}
+		if in != ins[i] {
+			t.Fatalf("replayed record %d: %+v != %+v", i, in, ins[i])
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("stream not exhausted after replay")
+	}
+
+	// Forward seek from a rewound stream skips records.
+	r.Rewind()
+	r.Seek(1999)
+	in, ok := r.Next()
+	if !ok || in != ins[1999] {
+		t.Fatalf("forward seek: got %+v, %v", in, ok)
+	}
+
+	// Seeking past the end panics, mirroring Buffer.Seek.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("seek past end did not panic")
+			}
+		}()
+		r.Seek(5000)
+	}()
+}
+
+func TestReaderRewindNonSeekablePanics(t *testing.T) {
+	data := encodeTrace(t, seqTrace(4))
+	r, err := NewReader(io.NopCloser(bytes.NewReader(data))) // hides io.Seeker
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("rewind on non-seekable stream did not panic")
+		}
+	}()
+	r.Rewind()
 }

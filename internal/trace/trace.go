@@ -28,6 +28,53 @@ type Source interface {
 	Next() (isa.Instr, bool)
 }
 
+// BlockSource is the batched bulk-read path of a Source. NextBlock returns
+// the next run of instructions in stream order; an empty slice means the
+// stream is exhausted. The returned slice is only valid until the next
+// NextBlock, Next, Seek, Rewind or Reset call on the source — block sources
+// hand out views of an internal, reusable slab, so the simulator consumes
+// instructions without a per-instruction interface call and without the
+// source allocating per read. Mixing Next and NextBlock is allowed; both
+// consume from the same position.
+type BlockSource interface {
+	Source
+	NextBlock() []isa.Instr
+}
+
+// Seeker is the random-access capability of a trace source, measured in
+// absolute instruction indices (0 = first instruction of the stream).
+//
+// This is the rollback-replay contract speculative execution depends on:
+// the CPU records the stream position of every checkpointed barrier, and on
+// a speculation abort calls Seek with the oldest checkpoint's position. The
+// source must then replay the exact same instruction sequence from that
+// index that it produced the first time — byte-identical opcodes, addresses
+// and registers — because the commit-stream equivalence argument (§4.2.2)
+// counts on every squashed effect re-executing exactly once. A source that
+// regenerates instructions on the fly (rather than buffering them) can only
+// implement Seeker if its generation is deterministic and restartable at
+// arbitrary indices.
+type Seeker interface {
+	Seek(pos uint64)
+}
+
+// Rewinder restarts a source from its beginning, equivalent to Seek(0) but
+// implementable by streams that can only restart, not random-access.
+type Rewinder interface {
+	Rewind()
+}
+
+// Compile-time contract assertions: the in-memory buffer and the file
+// reader are the two sources the CPU model's rollback path relies on.
+var (
+	_ BlockSource = (*Buffer)(nil)
+	_ Seeker      = (*Buffer)(nil)
+	_ Rewinder    = (*Buffer)(nil)
+	_ BlockSource = (*Reader)(nil)
+	_ Seeker      = (*Reader)(nil)
+	_ Rewinder    = (*Reader)(nil)
+)
+
 // Buffer is an in-memory instruction stream; it implements both Sink and
 // Source. The zero value is an empty, usable buffer.
 type Buffer struct {
@@ -46,6 +93,15 @@ func (b *Buffer) Next() (isa.Instr, bool) {
 	in := b.ins[b.pos]
 	b.pos++
 	return in, true
+}
+
+// NextBlock returns every unread instruction as one block and marks them
+// consumed. The slice aliases the buffer's storage: it stays valid until
+// the buffer is next written to (Emit/Reset), per the BlockSource contract.
+func (b *Buffer) NextBlock() []isa.Instr {
+	blk := b.ins[b.pos:]
+	b.pos = len(b.ins)
+	return blk
 }
 
 // Len reports the total number of instructions emitted.
@@ -196,26 +252,31 @@ func (b *Builder) ALU(lat int, deps ...isa.Reg) isa.Reg {
 	if b == nil {
 		return isa.NoReg
 	}
-	// Filter out absent operands.
-	var live []isa.Reg
-	for _, d := range deps {
-		if d != isa.NoReg {
-			live = append(live, d)
-		}
-	}
+	// Pick the first two present operands in place: this runs once per
+	// emitted ALU op (the hottest emit path), so it must not materialize a
+	// filtered slice.
 	var s1, s2 isa.Reg
-	if len(live) > 0 {
-		s1 = live[0]
-	}
-	if len(live) > 1 {
-		s2 = live[1]
+	n, i := 0, 0
+	for ; i < len(deps) && n < 2; i++ {
+		if deps[i] == isa.NoReg {
+			continue
+		}
+		if n == 0 {
+			s1 = deps[i]
+		} else {
+			s2 = deps[i]
+		}
+		n++
 	}
 	dst := b.alloc()
 	b.sink.Emit(isa.Instr{Op: isa.ALU, Dst: dst, Src1: s1, Src2: s2, Lat: uint8(lat)})
 	// Fold any remaining operands into a dependence chain.
-	for i := 2; i < len(live); i++ {
+	for ; i < len(deps); i++ {
+		if deps[i] == isa.NoReg {
+			continue
+		}
 		next := b.alloc()
-		b.sink.Emit(isa.Instr{Op: isa.ALU, Dst: next, Src1: dst, Src2: live[i], Lat: uint8(lat)})
+		b.sink.Emit(isa.Instr{Op: isa.ALU, Dst: next, Src1: dst, Src2: deps[i], Lat: uint8(lat)})
 		dst = next
 	}
 	return dst

@@ -46,6 +46,7 @@ type Manager struct {
 	capacity int
 	active   *Tx
 	stats    Stats
+	scratch  [mem.LineSize]byte // pre-image staging for Log (no per-line alloc)
 }
 
 // Stats returns a copy of the activity counters.
@@ -144,9 +145,9 @@ func (t *Tx) Log(addr uint64, size int, dep isa.Reg) {
 		// Copy the pre-image into the entry's data line and record the
 		// original address in the packed metadata array, then write the
 		// data line back so step 1's barrier can make it durable.
-		src, ld := env.LoadBytes(line, mem.LineSize, dep)
+		ld := env.LoadBytesInto(t.m.scratch[:], line, dep)
 		entry := t.m.data + uint64(t.n*mem.LineSize)
-		env.StoreBytes(entry, src, ld, isa.NoReg)
+		env.StoreBytes(entry, t.m.scratch[:], ld, isa.NoReg)
 		env.StoreU64(t.m.meta+uint64(t.n*8), line, isa.NoReg, isa.NoReg)
 		env.Clwb(entry)
 		t.n++

@@ -194,6 +194,23 @@ func (o *opSource) Next() (isa.Instr, bool) {
 	}
 }
 
+// NextBlock implements trace.BlockSource: the simulator consumes each
+// generated operation's instructions as one slab. The returned slice
+// aliases the regeneration buffer and is invalidated by the next refill,
+// per the BlockSource contract.
+func (o *opSource) NextBlock() []isa.Instr {
+	for {
+		if blk := o.buf.NextBlock(); len(blk) > 0 {
+			o.count += uint64(len(blk))
+			return blk
+		}
+		o.buf.Reset()
+		if !o.next() {
+			return nil
+		}
+	}
+}
+
 // Run executes one benchmark under one configuration and returns the
 // timing statistics.
 func Run(b Bench, rc RunConfig) (Result, error) {
@@ -268,11 +285,11 @@ func Run(b Bench, rc RunConfig) (Result, error) {
 	if rc.Variant.Speculative() {
 		// The knobs resolve against the paper's SP design point, replacing
 		// any SP config the Options carried (SPOverride wins outright).
-		ssb := cpu.DefaultSPConfig().SSBEntries
+		spc := cpu.DefaultSPConfig()
 		if rc.SSBEntries > 0 {
-			ssb = rc.SSBEntries
+			spc.SSBEntries = rc.SSBEntries
 		}
-		opts = opts.WithSP(ssb)
+		opts.CPU.SP = spc
 		if rc.Checkpoints > 0 {
 			opts.CPU.SP.Checkpoints = rc.Checkpoints
 		}

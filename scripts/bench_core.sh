@@ -5,8 +5,10 @@
 #   scripts/bench_core.sh              # 3 iterations (default)
 #   BENCHTIME=10x scripts/bench_core.sh
 #
-# CI runs this with BENCHTIME=1x as a smoke: the benchmark must produce a
-# parseable sim-instrs/s figure and the trajectory file must stay valid.
+# CI runs this with BENCHTIME=1x as a smoke and as a perf gate: the
+# benchmark must produce a parseable sim-instrs/s figure, the trajectory
+# file must stay valid, and the fresh entry must not fall more than 20%
+# below its predecessor (benchtrend -check fails the build otherwise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
