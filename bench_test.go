@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"testing"
 
+	"specpersist/internal/cluster"
 	"specpersist/internal/core"
 	"specpersist/internal/report"
 	"specpersist/internal/sp"
@@ -250,5 +251,30 @@ func BenchmarkFig14(b *testing.B) {
 			}
 		}
 		b.ReportMetric(worst, "worst-bloom-fp-rate")
+	}
+}
+
+// BenchmarkClusterFleet measures the replicated-fleet engine's own speed
+// on a kind network — the chaos fabric, client timers and pending-set
+// machinery compiled in but disabled — as offered requests simulated per
+// wall-clock second. scripts/bench_core.sh appends the metric to
+// BENCH_core.json, so chaos-off overhead creeping into the fleet hot loop
+// fails the benchtrend regression gate.
+func BenchmarkClusterFleet(b *testing.B) {
+	cfg := cluster.DefaultConfig()
+	cfg.Requests = 512
+	cfg.Rate = 300
+	var offered uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cluster.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offered += r.Stats.Offered
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(offered)/secs, "sim-reqs/s")
 	}
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"specpersist/internal/cluster"
+)
+
+// TestRunSmallCampaignClean: a few healthy trials audit clean and the
+// command returns nil.
+func TestRunSmallCampaignClean(t *testing.T) {
+	if err := run([]string{"-trials", "4", "-seed", "3"}); err != nil {
+		t.Fatalf("clean campaign failed: %v", err)
+	}
+}
+
+// TestRunNegativeControl: -break-dedup must surface violations, the
+// shrunk reproducer must land in -out, and the exit contract must flip
+// with -expect-violations.
+func TestRunNegativeControl(t *testing.T) {
+	out := t.TempDir() + "/minimal.json"
+	err := run([]string{"-trials", "8", "-seed", "7", "-break-dedup", "-out", out, "-shrink-budget", "60"})
+	if err == nil {
+		t.Fatal("broken-dedup campaign exited clean")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("failure does not mention violations: %v", err)
+	}
+	blob, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("no reproducer written: %v", rerr)
+	}
+	var min cluster.Config
+	if jerr := json.Unmarshal(blob, &min); jerr != nil {
+		t.Fatalf("reproducer is not a config: %v", jerr)
+	}
+	if !min.BreakDedup {
+		t.Error("reproducer lost the broken-dedup knob")
+	}
+
+	// The same campaign as an expected negative control passes...
+	if err := run([]string{"-trials", "8", "-seed", "7", "-break-dedup", "-expect-violations"}); err != nil {
+		t.Fatalf("-expect-violations rejected a violating campaign: %v", err)
+	}
+	// ...and a healthy campaign under -expect-violations fails.
+	if err := run([]string{"-trials", "2", "-seed", "3", "-expect-violations"}); err == nil {
+		t.Fatal("-expect-violations passed a clean campaign")
+	}
+
+	// The written reproducer replays to a violation.
+	if err := run([]string{"-replay", out, "-expect-violations"}); err != nil {
+		t.Fatalf("minimized reproducer did not replay: %v", err)
+	}
+}
+
+// TestRunRejectsBadFlags: user errors exit with diagnostics, not runs.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero trials", []string{"-trials", "0"}, "-trials"},
+		{"bad variant", []string{"-variant", "Warp"}, "variant"},
+		{"positional junk", []string{"-trials", "2", "extra"}, "unexpected"},
+		{"missing replay file", []string{"-replay", "nope.json"}, "nope.json"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: accepted %v", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCampaignJSONDocument: -json emits the campaign summary with every
+// trial present, via the re-exec helper so stdout is the real stream.
+func TestCampaignJSONDocument(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperChaosMain")
+	cmd.Env = append(os.Environ(), "CHAOS_HELPER_ARGS="+strings.Join(
+		[]string{"-trials", "3", "-seed", "3", "-json"}, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("json campaign failed: %v\n%s", err, out)
+	}
+	// The helper prints test-harness chatter after main returns; decode
+	// just the leading JSON document.
+	var doc jsonDoc
+	if err := json.NewDecoder(strings.NewReader(string(out))).Decode(&doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Campaign == nil || len(doc.Campaign.Trials) != 3 {
+		t.Fatalf("campaign document incomplete: %+v", doc.Campaign)
+	}
+	if doc.Campaign.Violations != 0 {
+		t.Fatalf("healthy campaign reported %d violations", doc.Campaign.Violations)
+	}
+}
+
+// TestHelperChaosMain is not a real test: when re-executed with
+// CHAOS_HELPER_ARGS set, it becomes the chaos binary.
+func TestHelperChaosMain(t *testing.T) {
+	raw, ok := os.LookupEnv("CHAOS_HELPER_ARGS")
+	if !ok {
+		t.Skip("helper process only")
+	}
+	os.Args = append([]string{"chaos"}, strings.Split(raw, "\x1f")...)
+	main()
+}

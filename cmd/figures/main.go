@@ -52,6 +52,7 @@ func main() {
 		conflicts = flag.Bool("conflicts", false, "print the multi-core conflict-sensitivity table (real BLT probes)")
 		latency   = flag.Bool("latency", false, "print the storage-server throughput-latency sweep (open-loop arrivals, group commit)")
 		clusterF  = flag.Bool("cluster", false, "print the replicated-fleet figures (quorum capacity, RTT sensitivity, replica rejoin)")
+		chaosF    = flag.Bool("chaos", false, "print the chaos-capacity figure (tail latency and completion under drops and partitions)")
 	)
 	flag.Parse()
 
@@ -163,6 +164,16 @@ func main() {
 			midRate := sc.Rates[len(sc.Rates)/2]
 			fmt.Println(service.LatencyCDFChart(points, midRate, sc.Batches[0], sc.Cores[0]).String())
 		}
+	}
+	if *chaosF {
+		sc := cluster.DefaultChaosSweepConfig()
+		sc.Base.Seed = *seed
+		sc.Workers = *jobs
+		points, err := cluster.ChaosSweep(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("cluster-chaos", func() *report.Table { return cluster.ChaosCapacityTable(points) })
 	}
 	if *clusterF {
 		runClusterSweep := func(name string, sc cluster.SweepConfig) {

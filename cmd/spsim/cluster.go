@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 
+	"specpersist/internal/chaos"
 	"specpersist/internal/cluster"
 	"specpersist/internal/core"
 	"specpersist/internal/obs"
@@ -46,7 +47,32 @@ type clusterOptions struct {
 	RebalanceEvery int64
 	Seed           int64
 	SSB            int
-	SetFlags       map[string]bool
+
+	// Chaos fabric: either a plan file or the inline fate dials.
+	ChaosPlanFile  string
+	ChaosSeed      int64
+	ChaosDrop      float64
+	ChaosDup       float64
+	ChaosDelay     float64
+	ChaosDelayMult float64
+	ChaosReorder   float64
+
+	// Client robustness and failure detection.
+	ReqDeadline    int64
+	RetryMax       int
+	HedgeQuantile  float64
+	ShedHighWater  int
+	HeartbeatEvery int64
+	LeaseCycles    int64
+
+	Audit    bool
+	SetFlags map[string]bool
+}
+
+// chaosFateFlags are the inline plan dials; they clash with -chaos-plan
+// (the file is the complete plan, mixing the two would silently shadow).
+var chaosFateFlags = []string{
+	"chaos-seed", "chaos-drop", "chaos-dup", "chaos-delay", "chaos-delay-mult", "chaos-reorder",
 }
 
 // incompatibleWithCluster lists flags belonging to the benchmark,
@@ -101,6 +127,28 @@ func buildClusterConfig(o clusterOptions) (cluster.Config, error) {
 	if o.RebalanceEvery < 0 {
 		return cluster.Config{}, fmt.Errorf("-rebalance-every must be non-negative, got %d", o.RebalanceEvery)
 	}
+	if o.ReqDeadline < 0 {
+		return cluster.Config{}, fmt.Errorf("-req-deadline must be non-negative, got %d", o.ReqDeadline)
+	}
+	if o.RetryMax < 0 {
+		return cluster.Config{}, fmt.Errorf("-retry-max must be non-negative, got %d", o.RetryMax)
+	}
+	if o.HedgeQuantile < 0 || o.HedgeQuantile >= 1 {
+		return cluster.Config{}, fmt.Errorf("-hedge-quantile must be in [0, 1), got %g", o.HedgeQuantile)
+	}
+	if o.ShedHighWater < 0 {
+		return cluster.Config{}, fmt.Errorf("-shed-high-water must be non-negative, got %d", o.ShedHighWater)
+	}
+	if o.HeartbeatEvery < 0 {
+		return cluster.Config{}, fmt.Errorf("-heartbeat-every must be non-negative, got %d", o.HeartbeatEvery)
+	}
+	if o.LeaseCycles < 0 {
+		return cluster.Config{}, fmt.Errorf("-lease-cycles must be non-negative, got %d", o.LeaseCycles)
+	}
+	plan, err := chaosPlanFromOptions(o)
+	if err != nil {
+		return cluster.Config{}, err
+	}
 	cfg := cluster.DefaultConfig()
 	cfg.Structure = o.Structure
 	cfg.Variant = v
@@ -138,10 +186,65 @@ func buildClusterConfig(o clusterOptions) (cluster.Config, error) {
 	cfg.RebalanceEvery = uint64(o.RebalanceEvery)
 	cfg.Seed = o.Seed
 	cfg.SSBEntries = o.SSB
+	cfg.Chaos = plan
+	cfg.ReqDeadline = uint64(o.ReqDeadline)
+	cfg.RetryMax = o.RetryMax
+	cfg.HedgeQuantile = o.HedgeQuantile
+	cfg.ShedHighWater = o.ShedHighWater
+	cfg.HeartbeatEvery = uint64(o.HeartbeatEvery)
+	cfg.LeaseCycles = uint64(o.LeaseCycles)
 	if err := cfg.Validate(); err != nil {
 		return cluster.Config{}, err
 	}
 	return cfg, nil
+}
+
+// chaosPlanFromOptions resolves the chaos flags into a plan: a plan file
+// replays verbatim (the shrinker's minimal reproducers), the inline dials
+// assemble one ad hoc, and setting both is an error.
+func chaosPlanFromOptions(o clusterOptions) (*chaos.Plan, error) {
+	var inline []string
+	for _, name := range chaosFateFlags {
+		if o.SetFlags[name] {
+			inline = append(inline, "-"+name)
+		}
+	}
+	if o.ChaosPlanFile != "" {
+		if len(inline) > 0 {
+			sort.Strings(inline)
+			return nil, fmt.Errorf("-chaos-plan is a complete plan; flags %v clash with it", inline)
+		}
+		blob, err := os.ReadFile(o.ChaosPlanFile)
+		if err != nil {
+			return nil, fmt.Errorf("-chaos-plan: %w", err)
+		}
+		var p chaos.Plan
+		if err := json.Unmarshal(blob, &p); err != nil {
+			return nil, fmt.Errorf("-chaos-plan %s: %w", o.ChaosPlanFile, err)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("-chaos-plan %s: %w", o.ChaosPlanFile, err)
+		}
+		return &p, nil
+	}
+	if len(inline) == 0 {
+		return nil, nil
+	}
+	p := chaos.Plan{
+		Seed:      o.ChaosSeed,
+		Drop:      o.ChaosDrop,
+		Dup:       o.ChaosDup,
+		Delay:     o.ChaosDelay,
+		DelayMult: o.ChaosDelayMult,
+		Reorder:   o.ChaosReorder,
+	}
+	if p.Delay > 0 && p.DelayMult == 0 {
+		p.DelayMult = 10
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
 }
 
 // runCluster executes one -cluster simulation and prints the result.
@@ -155,7 +258,11 @@ func runCluster(o clusterOptions, jsonOut bool, timeline string, tlCap int) {
 		tl = obs.NewTimeline(tlCap)
 		cfg.Timeline = tl
 	}
-	res, err := cluster.Run(cfg)
+	runOne := cluster.Run
+	if o.Audit {
+		runOne = cluster.RunAudited
+	}
+	res, err := runOne(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -199,6 +306,25 @@ func runCluster(o clusterOptions, jsonOut bool, timeline string, tlCap int) {
 	fmt.Printf("faults               %d crashes, %d failovers, %d rejoins (%d catch-up ops)\n",
 		st.Crashes, st.Failovers, st.Rejoins, st.CatchupOps)
 	fmt.Printf("rebalancing          %d primaryship moves\n", st.Rebalances)
+	if res.Config.Chaos.Enabled() {
+		fmt.Printf("chaos fabric         %d dropped, %d cut, %d dupped, %d delayed, %d reordered\n",
+			st.NetChaosDropped, st.NetChaosCut, st.NetChaosDupped, st.NetChaosDelayed, st.NetChaosReordered)
+	}
+	if res.Config.ReqDeadline > 0 {
+		fmt.Printf("client robustness    %d shed, %d timed out, %d retries, %d hedges\n",
+			st.Shed, st.TimedOut, st.Retries, st.Hedges)
+	}
+	if res.Config.HeartbeatEvery > 0 {
+		fmt.Printf("failure detection    %d heartbeats, %d suspicions (%d wrong), %d repair ops\n",
+			st.Heartbeats, st.Suspicions, st.WrongSuspicions, st.RepairOps)
+	}
+	if res.Audit != nil {
+		fmt.Printf("audit                %d acked updates checked, %d violations\n",
+			res.Audit.Checked, res.Audit.Total)
+		for _, v := range res.Audit.Violations {
+			fmt.Printf("  VIOLATION          %s\n", v)
+		}
+	}
 	for _, nd := range res.PerNode {
 		rejoin := ""
 		if nd.RejoinCycles > 0 {

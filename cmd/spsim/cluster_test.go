@@ -62,6 +62,32 @@ func TestBuildClusterConfigRejectsBadFlags(t *testing.T) {
 		{"crash node out of range", func(o *clusterOptions) { o.CrashAt = 1000; o.CrashNode = 7 }, "crash node"},
 		{"recover without crash", func(o *clusterOptions) { o.RecoverAfter = 1000 }, "crash"},
 		{"negative rebalance", func(o *clusterOptions) { o.RebalanceEvery = -1 }, "-rebalance-every"},
+		{"negative req-deadline", func(o *clusterOptions) { o.ReqDeadline = -1 }, "-req-deadline"},
+		{"negative retry-max", func(o *clusterOptions) { o.RetryMax = -1 }, "-retry-max"},
+		{"hedge quantile out of range", func(o *clusterOptions) { o.HedgeQuantile = 1 }, "-hedge-quantile"},
+		{"negative shed high water", func(o *clusterOptions) { o.ShedHighWater = -1 }, "-shed-high-water"},
+		{"negative heartbeat", func(o *clusterOptions) { o.HeartbeatEvery = -1 }, "-heartbeat-every"},
+		{"negative lease", func(o *clusterOptions) { o.LeaseCycles = -1 }, "-lease-cycles"},
+		{"drop fraction out of range", func(o *clusterOptions) {
+			o.ChaosDrop = 1.5
+			o.SetFlags["chaos-drop"] = true
+		}, "drop"},
+		{"lossy chaos without deadline", func(o *clusterOptions) {
+			o.ChaosDrop = 0.1
+			o.SetFlags["chaos-drop"] = true
+		}, "deadline"},
+		{"heartbeats without deadline", func(o *clusterOptions) { o.HeartbeatEvery = 4000 }, "deadline"},
+		{"lease not past heartbeat", func(o *clusterOptions) {
+			o.ReqDeadline = 100_000
+			o.HeartbeatEvery = 4000
+			o.LeaseCycles = 4000
+		}, "lease"},
+		{"plan file plus inline dials", func(o *clusterOptions) {
+			o.ChaosPlanFile = "plan.json"
+			o.ChaosDup = 0.1
+			o.SetFlags["chaos-dup"] = true
+		}, "-chaos-plan"},
+		{"missing plan file", func(o *clusterOptions) { o.ChaosPlanFile = "does-not-exist.json" }, "-chaos-plan"},
 	}
 	for _, tc := range cases {
 		o := validClusterOptions()
@@ -74,6 +100,35 @@ func TestBuildClusterConfigRejectsBadFlags(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestBuildClusterConfigLoadsPlanFile: a plan JSON on disk (the shrinker's
+// output format) replays into the fleet configuration verbatim.
+func TestBuildClusterConfigLoadsPlanFile(t *testing.T) {
+	path := t.TempDir() + "/plan.json"
+	if err := os.WriteFile(path, []byte(`{"seed": 7, "drop": 0.1, "dup": 0.05}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := validClusterOptions()
+	o.ChaosPlanFile = path
+	o.ReqDeadline = 120_000
+	o.HeartbeatEvery = 4_000
+	o.LeaseCycles = 16_000
+	cfg, err := buildClusterConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Chaos == nil || cfg.Chaos.Seed != 7 || cfg.Chaos.Drop != 0.1 || cfg.Chaos.Dup != 0.05 {
+		t.Fatalf("plan not loaded from file: %+v", cfg.Chaos)
+	}
+	bad := path + ".bad"
+	if err := os.WriteFile(bad, []byte(`{"drop": 2.0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o.ChaosPlanFile = bad
+	if _, err := buildClusterConfig(o); err == nil {
+		t.Fatal("invalid plan file accepted")
 	}
 }
 
@@ -105,7 +160,11 @@ func TestBuildClusterConfigRejectsForeignModeFlags(t *testing.T) {
 // rejected from the -service side, so the two modes cannot be mixed in
 // either direction.
 func TestClusterFlagsClashWithService(t *testing.T) {
-	for _, name := range []string{"cluster", "replicas", "quorum", "net-rtt", "crash-at"} {
+	for _, name := range []string{
+		"cluster", "replicas", "quorum", "net-rtt", "crash-at",
+		"chaos-plan", "chaos-drop", "req-deadline", "retry-max",
+		"heartbeat-every", "audit",
+	} {
 		o := validOptions()
 		o.SetFlags = map[string]bool{name: true}
 		_, err := buildServiceConfig(o)
@@ -132,6 +191,27 @@ func TestClusterModeExitCodes(t *testing.T) {
 		{"bad quorum", []string{"-cluster", "-replicas", "2", "-quorum", "3"}, false, "quorum"},
 		{"bad rtt", []string{"-cluster", "-net-rtt", "1"}, false, "RTT"},
 		{"recover without crash", []string{"-cluster", "-recover-after", "500"}, false, "crash"},
+		{"chaos run with robustness stack", []string{
+			"-cluster", "-rate", "400", "-requests", "24", "-warmup", "24",
+			"-chaos-drop", "0.05", "-chaos-dup", "0.05",
+			"-req-deadline", "120000", "-retry-max", "4",
+			"-heartbeat-every", "4000", "-lease-cycles", "16000",
+		}, true, "chaos fabric"},
+		{"audited run reports", []string{
+			"-cluster", "-rate", "400", "-requests", "24", "-warmup", "24", "-audit",
+		}, true, "audit"},
+		{"lossy chaos needs a deadline", []string{
+			"-cluster", "-chaos-drop", "0.05",
+		}, false, "deadline"},
+		{"chaos plan file clashes with dials", []string{
+			"-cluster", "-chaos-plan", "p.json", "-chaos-drop", "0.05",
+		}, false, "-chaos-plan"},
+		{"bad hedge quantile", []string{
+			"-cluster", "-hedge-quantile", "1.5",
+		}, false, "-hedge-quantile"},
+		{"chaos flags clash with service", []string{
+			"-service", "-chaos-drop", "0.1",
+		}, false, "-chaos-drop"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

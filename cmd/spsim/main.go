@@ -31,7 +31,13 @@
 // -replicas of them, each update acknowledged only at the -quorum-th
 // durable replica, over a seeded network (-net-rtt, -net-jitter), with
 // optional crash/recovery (-crash-at, -crash-node, -recover-after) and
-// primary rebalancing under skew (-zipf, -rebalance-every).
+// primary rebalancing under skew (-zipf, -rebalance-every). The -chaos-*
+// dials (or a -chaos-plan JSON file) inject deterministic network faults —
+// drops, duplicates, delay spikes, reorders, partitions, gray nodes —
+// against the client robustness stack (-req-deadline, -retry-max,
+// -hedge-quantile, -shed-high-water) and heartbeat/lease failure detection
+// (-heartbeat-every, -lease-cycles); -audit reports invariant breaches in
+// the result instead of failing the run.
 //
 // The -timeline file is Chrome trace_event JSON: load it at
 // chrome://tracing or https://ui.perfetto.dev (1 cycle renders as 1 µs).
@@ -119,6 +125,22 @@ func main() {
 		clRecover   = flag.Int64("recover-after", 0, "cluster: restart the crashed node this many cycles after the crash (0 = stays down)")
 		clRebalance = flag.Int64("rebalance-every", 0, "cluster: primary-rebalancer period in cycles (0 = off)")
 
+		chPlan      = flag.String("chaos-plan", "", "cluster: replay a chaos.Plan JSON file (clashes with the inline -chaos-* dials)")
+		chSeed      = flag.Int64("chaos-seed", 1, "cluster: chaos fate-stream seed")
+		chDrop      = flag.Float64("chaos-drop", 0, "cluster: per-message drop fraction in [0, 1)")
+		chDup       = flag.Float64("chaos-dup", 0, "cluster: per-message duplication fraction in [0, 1)")
+		chDelay     = flag.Float64("chaos-delay", 0, "cluster: per-message delay-spike fraction in [0, 1)")
+		chDelayMult = flag.Float64("chaos-delay-mult", 0, "cluster: delay-spike latency multiplier (0 with -chaos-delay = 10)")
+		chReorder   = flag.Float64("chaos-reorder", 0, "cluster: per-message reorder fraction in [0, 1)")
+
+		clDeadline  = flag.Int64("req-deadline", 0, "cluster: per-request deadline in cycles (0 = none; required under lossy chaos)")
+		clRetryMax  = flag.Int("retry-max", 0, "cluster: idempotent retransmits per update (0 = off)")
+		clHedgeQ    = flag.Float64("hedge-quantile", 0, "cluster: hedge updates at this completion-latency quantile (0 = off)")
+		clShedHW    = flag.Int("shed-high-water", 0, "cluster: shed new requests when the primary queue reaches this depth (0 = off)")
+		clHeartbeat = flag.Int64("heartbeat-every", 0, "cluster: heartbeat period in cycles (0 = oracle failure detection)")
+		clLease     = flag.Int64("lease-cycles", 0, "cluster: failover after this long without hearing from a primary (0 = 4x heartbeat)")
+		clAudit     = flag.Bool("audit", false, "cluster: report invariant breaches in the result instead of failing the run")
+
 		cores       = flag.Int("cores", 0, "run the multi-core conflict engine with this many SP cores (0 = single-core); with -service, the shard count")
 		mcFrac      = flag.Float64("mc-frac", 0.5, "multicore: probability an op is a shared-table RMW (conflict dial)")
 		mcShared    = flag.Int("mc-shared-lines", 4, "multicore: shared-table lines per core")
@@ -164,6 +186,20 @@ func main() {
 			RebalanceEvery: *clRebalance,
 			Seed:           *seed,
 			SSB:            *ssb,
+			ChaosPlanFile:  *chPlan,
+			ChaosSeed:      *chSeed,
+			ChaosDrop:      *chDrop,
+			ChaosDup:       *chDup,
+			ChaosDelay:     *chDelay,
+			ChaosDelayMult: *chDelayMult,
+			ChaosReorder:   *chReorder,
+			ReqDeadline:    *clDeadline,
+			RetryMax:       *clRetryMax,
+			HedgeQuantile:  *clHedgeQ,
+			ShedHighWater:  *clShedHW,
+			HeartbeatEvery: *clHeartbeat,
+			LeaseCycles:    *clLease,
+			Audit:          *clAudit,
 			SetFlags:       set,
 		}, *jsonOut, *timeline, *tlCap)
 		return

@@ -51,6 +51,10 @@ var incompatibleWithService = []string{
 	"cluster", "nodes", "replicas", "quorum", "vnodes", "zipf",
 	"net-rtt", "net-jitter", "catchup-batch",
 	"crash-at", "crash-node", "recover-after", "rebalance-every",
+	"chaos-plan", "chaos-seed", "chaos-drop", "chaos-dup", "chaos-delay",
+	"chaos-delay-mult", "chaos-reorder",
+	"req-deadline", "retry-max", "hedge-quantile", "shed-high-water",
+	"heartbeat-every", "lease-cycles", "audit",
 }
 
 // buildServiceConfig validates the flag values and assembles the service

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlanJSON pins the serialization contract the campaign tooling relies
+// on: any JSON that decodes into a Plan can be normalized and re-encoded,
+// decode -> Normalize -> encode is a fixed point (so shrunk reproducers
+// round-trip byte-for-byte), and Validate classifies arbitrary field
+// values without panicking. Seed corpus under testdata/fuzz/FuzzPlanJSON.
+func FuzzPlanJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"seed":1}`,
+		`{"seed":-9,"drop":0.1,"dup":0.05,"delay":0.02,"delay_mult":8,"reorder":0.2}`,
+		`{"drop":1.5}`,
+		`{"delay":0.1}`,
+		`{"partitions":[{"from":100,"to":200,"group":[2,0]}]}`,
+		`{"partitions":[{"from":5,"to":5,"group":[0]}],"grays":[{"from":1,"to":2,"node":0,"slow":50}]}`,
+		`{"grays":[{"from":10,"to":90,"node":1,"slow":1e6}]}`,
+		`{"seed":7,"drop":1e-9,"partitions":[{"from":0,"to":18446744073709551615,"group":[1,3,5]}]}`,
+		`{"delay":0.5,"delay_mult":"not a number"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Plan
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // not a plan; nothing to check
+		}
+		// Validate must classify, never panic (checked implicitly: a panic
+		// fails the fuzz run).
+		valid := p.Validate() == nil
+
+		n := p.Normalize()
+		if valid && n.Validate() != nil {
+			t.Fatalf("Normalize broke a valid plan: %+v -> %+v", p, n)
+		}
+		enc1, err := json.Marshal(n)
+		if err != nil {
+			return // non-finite floats don't marshal; acceptable for invalid plans
+		}
+		var back Plan
+		if err := json.Unmarshal(enc1, &back); err != nil {
+			t.Fatalf("re-decoding normalized plan failed: %v\n%s", err, enc1)
+		}
+		enc2, err := json.Marshal(back.Normalize())
+		if err != nil {
+			t.Fatalf("re-encoding normalized plan failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("decode->normalize->encode is not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

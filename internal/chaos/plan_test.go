@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestZeroPlanIsKind(t *testing.T) {
+	var p Plan
+	if p.Enabled() || p.Lossy() {
+		t.Fatal("zero plan claims to be active")
+	}
+	if (*Plan)(nil).Enabled() || (*Plan)(nil).Lossy() {
+		t.Fatal("nil plan claims to be active")
+	}
+	for seq := uint64(0); seq < 100; seq++ {
+		if k, _ := p.Fate(seq); k != FateNone {
+			t.Fatalf("zero plan drew fate %v for seq %d", k, seq)
+		}
+	}
+	if p.Partitioned(0, 1, 5) || p.SlowFactor(0, 1, 5) != 1 {
+		t.Fatal("zero plan has active windows")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero plan invalid: %v", err)
+	}
+}
+
+// TestFateDeterminismAndMix: fates are a pure function of (seed, seq), and
+// a plan with all four fractions draws each kind at roughly its fraction.
+func TestFateDeterminismAndMix(t *testing.T) {
+	p := Plan{Seed: 7, Drop: 0.1, Dup: 0.1, Delay: 0.1, DelayMult: 4, Reorder: 0.1}
+	q := Plan{Seed: 7, Drop: 0.1, Dup: 0.1, Delay: 0.1, DelayMult: 4, Reorder: 0.1}
+	counts := map[FateKind]int{}
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		k1, x1 := p.Fate(seq)
+		k2, x2 := q.Fate(seq)
+		if k1 != k2 || x1 != x2 {
+			t.Fatalf("seq %d: identical plans drew different fates", seq)
+		}
+		counts[k1]++
+		if k1 == FateReorder && (x1 < 0 || x1 >= 1) {
+			t.Fatalf("seq %d: reorder extra %g out of [0,1)", seq, x1)
+		}
+	}
+	for _, k := range []FateKind{FateDrop, FateDup, FateDelay, FateReorder} {
+		got := float64(counts[k]) / n
+		if got < 0.08 || got > 0.12 {
+			t.Errorf("fate %v frequency %.3f, want ~0.10", k, got)
+		}
+	}
+	r := Plan{Seed: 8, Drop: 0.1, Dup: 0.1, Delay: 0.1, DelayMult: 4, Reorder: 0.1}
+	diff := 0
+	for seq := uint64(0); seq < n; seq++ {
+		k1, _ := p.Fate(seq)
+		k2, _ := r.Fate(seq)
+		if k1 != k2 {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds drew identical fate streams")
+	}
+}
+
+func TestPartitionedAndSlowWindows(t *testing.T) {
+	p := Plan{
+		Partitions: []Partition{{From: 100, To: 200, Group: []int{0, 2}}},
+		Grays:      []Gray{{From: 50, To: 150, Node: 1, Slow: 10}},
+	}
+	cases := []struct {
+		from, to int
+		at       uint64
+		want     bool
+	}{
+		{0, 1, 150, true},  // across the cut, inside the window
+		{1, 0, 150, true},  // symmetric
+		{0, 2, 150, false}, // both inside the group
+		{1, 3, 150, false}, // both outside the group
+		{0, 1, 99, false},  // before the window
+		{0, 1, 200, false}, // window end is exclusive
+	}
+	for _, c := range cases {
+		if got := p.Partitioned(c.from, c.to, c.at); got != c.want {
+			t.Errorf("Partitioned(%d,%d,%d) = %v, want %v", c.from, c.to, c.at, got, c.want)
+		}
+	}
+	if f := p.SlowFactor(1, 2, 100); f != 10 {
+		t.Errorf("gray source factor %g, want 10", f)
+	}
+	if f := p.SlowFactor(0, 1, 100); f != 10 {
+		t.Errorf("gray destination factor %g, want 10", f)
+	}
+	if f := p.SlowFactor(0, 2, 100); f != 1 {
+		t.Errorf("non-gray link factor %g, want 1", f)
+	}
+	if f := p.SlowFactor(0, 1, 150); f != 1 {
+		t.Errorf("expired gray window factor %g, want 1", f)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+		want string
+	}{
+		{"drop over 1", Plan{Drop: 1.5}, "drop"},
+		{"negative dup", Plan{Dup: -0.1}, "dup"},
+		{"NaN delay", Plan{Delay: math.NaN()}, "delay"},
+		{"fractions over 1", Plan{Drop: 0.5, Dup: 0.6}, "sum"},
+		{"delay without mult", Plan{Delay: 0.1}, "multiplier"},
+		{"mult too big", Plan{Delay: 0.1, DelayMult: 1000}, "multiplier"},
+		{"empty partition window", Plan{Partitions: []Partition{{From: 5, To: 5, Group: []int{0}}}}, "empty"},
+		{"empty partition group", Plan{Partitions: []Partition{{From: 1, To: 2}}}, "group"},
+		{"negative partition node", Plan{Partitions: []Partition{{From: 1, To: 2, Group: []int{-1}}}}, "negative"},
+		{"duplicate partition node", Plan{Partitions: []Partition{{From: 1, To: 2, Group: []int{1, 1}}}}, "twice"},
+		{"empty gray window", Plan{Grays: []Gray{{From: 9, To: 3, Node: 0, Slow: 10}}}, "empty"},
+		{"gray slow under 1", Plan{Grays: []Gray{{From: 1, To: 2, Node: 0, Slow: 0.5}}}, "slow"},
+		{"gray slow over max", Plan{Grays: []Gray{{From: 1, To: 2, Node: 0, Slow: 1e6}}}, "slow"},
+		{"negative gray node", Plan{Grays: []Gray{{From: 1, To: 2, Node: -3, Slow: 10}}}, "negative"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestNormalizeFixedPoint: Normalize is idempotent and canonicalizes group
+// and window order without changing semantics.
+func TestNormalizeFixedPoint(t *testing.T) {
+	p := Plan{
+		Seed:      3,
+		DelayMult: 8, // unused: Delay is 0, Normalize must zero it
+		Partitions: []Partition{
+			{From: 300, To: 400, Group: []int{2, 0}},
+			{From: 100, To: 200, Group: []int{1}},
+		},
+		Grays: []Gray{
+			{From: 90, To: 95, Node: 2, Slow: 12},
+			{From: 10, To: 20, Node: 0, Slow: 30},
+		},
+	}
+	n1 := p.Normalize()
+	n2 := n1.Normalize()
+	b1, _ := json.Marshal(n1)
+	b2, _ := json.Marshal(n2)
+	if string(b1) != string(b2) {
+		t.Fatalf("Normalize is not idempotent:\n%s\nvs\n%s", b1, b2)
+	}
+	if n1.DelayMult != 0 {
+		t.Errorf("unused DelayMult survived Normalize: %g", n1.DelayMult)
+	}
+	if n1.Partitions[0].From != 100 || n1.Partitions[1].Group[0] != 0 {
+		t.Errorf("windows not canonically ordered: %+v", n1.Partitions)
+	}
+	if n1.Grays[0].Node != 0 {
+		t.Errorf("grays not canonically ordered: %+v", n1.Grays)
+	}
+	// Same cut semantics after normalization.
+	for at := uint64(0); at < 500; at += 7 {
+		for from := 0; from < 3; from++ {
+			for to := 0; to < 3; to++ {
+				if p.Partitioned(from, to, at) != n1.Partitioned(from, to, at) {
+					t.Fatalf("Normalize changed partition semantics at (%d,%d,%d)", from, to, at)
+				}
+			}
+		}
+	}
+}
+
+// TestGenPlanDeterministicAndValid: campaign plans are pure functions of
+// the seed, valid, normalized, and not all identical.
+func TestGenPlanDeterministicAndValid(t *testing.T) {
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		a := GenPlan(seed, 4, 1_000_000)
+		b := GenPlan(seed, 4, 1_000_000)
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Fatalf("seed %d: GenPlan not deterministic", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid plan: %v\n%s", seed, err, ja)
+		}
+		jn, _ := json.Marshal(a.Normalize())
+		if string(jn) != string(ja) {
+			t.Fatalf("seed %d: generated plan is not normalized", seed)
+		}
+		distinct[string(ja)] = true
+	}
+	if len(distinct) < 150 {
+		t.Fatalf("only %d distinct plans across 200 seeds", len(distinct))
+	}
+	// Degenerate fleet shapes must not panic.
+	for _, nodes := range []int{0, 1, 2, 31, 64} {
+		_ = GenPlan(1, nodes, 1000)
+	}
+}

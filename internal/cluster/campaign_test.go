@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specpersist/internal/chaos"
+)
+
+// TestNegativeControlBreakDedup: with the duplicate gate broken, a
+// duplicating network double-applies sequences. The plain runner must
+// refuse to return numbers; the audited runner must classify the breach.
+func TestNegativeControlBreakDedup(t *testing.T) {
+	cfg := chaosConfig(&chaos.Plan{Seed: 5, Dup: 0.3})
+	cfg.BreakDedup = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("plain Run returned no error with dedup broken under duplication")
+	} else if !strings.Contains(err.Error(), "dedup") {
+		t.Fatalf("plain Run failed for the wrong reason: %v", err)
+	}
+	r, err := RunAudited(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Audit == nil || r.Audit.Clean() {
+		t.Fatal("audited run found no violation with dedup broken under duplication")
+	}
+	found := false
+	for _, v := range r.Audit.Violations {
+		if v.Kind == "double-apply" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no double-apply among %d violations: %+v", r.Audit.Total, r.Audit.Violations)
+	}
+}
+
+// TestAuditCleanOnHealthyChaos: a hostile but gate-intact run audits
+// clean — the auditor does not cry wolf on recoverable faults.
+func TestAuditCleanOnHealthyChaos(t *testing.T) {
+	r, err := RunAudited(chaosConfig(&chaos.Plan{
+		Seed: 5, Drop: 0.05, Dup: 0.3, Delay: 0.03, DelayMult: 6, Reorder: 0.1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Audit == nil {
+		t.Fatal("audited run carried no audit")
+	}
+	if !r.Audit.Clean() {
+		t.Fatalf("healthy fleet audited dirty: %+v", r.Audit.Violations)
+	}
+	if r.Audit.Checked == 0 {
+		t.Fatal("audit checked zero acknowledged updates")
+	}
+}
+
+// TestShrinkChaosPlan: starting from a kitchen-sink plan, the shrinker
+// must keep the violation reproducible while discarding the faults that
+// are irrelevant to it (partitions, grays), and the minimized config must
+// replay to a violation. Retries and hedges are disabled so network
+// duplication is the only duplicate source — the shrinker must keep Dup.
+func TestShrinkChaosPlan(t *testing.T) {
+	cfg := chaosConfig(&chaos.Plan{
+		Seed: 5, Drop: 0.04, Dup: 0.3, Delay: 0.03, DelayMult: 6, Reorder: 0.1,
+		Partitions: []chaos.Partition{{From: 200_000, To: 300_000, Group: []int{2}}},
+		Grays:      []chaos.Gray{{From: 600_000, To: 700_000, Node: 0, Slow: 15}},
+	})
+	cfg.BreakDedup = true
+	cfg.RetryMax = 0
+	cfg.HedgeQuantile = 0
+	min, steps := ShrinkChaosPlan(cfg, 120)
+	if steps == 0 {
+		t.Fatal("shrinker spent zero replays")
+	}
+	if min.Chaos.Dup == 0 {
+		t.Fatal("shrinker removed the duplication that drives the violation")
+	}
+	if len(min.Chaos.Partitions) != 0 || len(min.Chaos.Grays) != 0 {
+		t.Errorf("irrelevant windows survived: %d partitions, %d grays",
+			len(min.Chaos.Partitions), len(min.Chaos.Grays))
+	}
+	r, err := RunAudited(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Audit.Clean() {
+		t.Fatal("minimized config no longer reproduces the violation")
+	}
+	// The minimal plan must round-trip through JSON and still reproduce.
+	blob, err := json.Marshal(min.Chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back chaos.Plan
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	replay := min
+	replay.Chaos = &back
+	r2, err := RunAudited(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Audit.Clean() {
+		t.Fatal("JSON-replayed minimal plan no longer reproduces the violation")
+	}
+}
+
+// TestShrinkChaosPlanNotReproducible: a clean config comes back unchanged.
+func TestShrinkChaosPlanNotReproducible(t *testing.T) {
+	cfg := chaosConfig(&chaos.Plan{Seed: 5, Dup: 0.3})
+	min, _ := ShrinkChaosPlan(cfg, 40)
+	if min.Chaos.Dup != cfg.Chaos.Dup {
+		t.Fatalf("clean config was mutated: dup %v -> %v", cfg.Chaos.Dup, min.Chaos.Dup)
+	}
+}
+
+// TestCampaignWorkerDeterminism: the same campaign at 1 and 4 workers
+// produces byte-identical JSON.
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	cc := CampaignConfig{Base: DefaultChaosBase(), Trials: 6, Seed: 42, Workers: 1}
+	r1, err := Campaign(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Workers = 4
+	r2, err := Campaign(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Config.Workers = 0 // worker count is the only allowed difference
+	r2.Config.Workers = 0
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Fatal("campaign results differ across worker counts")
+	}
+	if r1.Violations != 0 {
+		t.Fatalf("healthy campaign found %d violations (trials %v)", r1.Violations, r1.BadTrials)
+	}
+	if r1.Completed == 0 {
+		t.Fatal("campaign completed zero requests")
+	}
+}
+
+// TestCampaignNegativeControl: a campaign over a broken-dedup fleet must
+// catch violations in at least one trial.
+func TestCampaignNegativeControl(t *testing.T) {
+	base := DefaultChaosBase()
+	base.BreakDedup = true
+	r, err := Campaign(CampaignConfig{Base: base, Trials: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violations == 0 {
+		t.Fatal("broken-dedup campaign audited clean across 8 generated plans")
+	}
+	if len(r.BadTrials) == 0 {
+		t.Fatal("violations counted but no trial flagged")
+	}
+}
+
+// TestTrialConfigPure: trial derivation is a pure function — same inputs,
+// same config, including the generated plan.
+func TestTrialConfigPure(t *testing.T) {
+	cc := CampaignConfig{Base: DefaultChaosBase(), Trials: 4, Seed: 99}
+	a := TrialConfig(cc, 3)
+	b := TrialConfig(cc, 3)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("TrialConfig is not pure")
+	}
+	c := TrialConfig(cc, 2)
+	jc, _ := json.Marshal(c)
+	if string(ja) == string(jc) {
+		t.Fatal("distinct trials drew identical configs")
+	}
+}

@@ -48,10 +48,12 @@
 package cluster
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"specpersist/internal/chaos"
 	"specpersist/internal/core"
 	"specpersist/internal/cpu"
 	"specpersist/internal/fault"
@@ -124,6 +126,54 @@ type Config struct {
 	// the hottest node's hottest range moves its primaryship to the
 	// least-loaded live owner (replica placement never changes).
 	RebalanceEvery uint64 `json:"rebalance_every,omitempty"`
+	// ReqDeadline, when > 0, bounds each request's wait for completion: a
+	// request still pending that many cycles after arrival times out,
+	// counted separately and never acknowledged (so it carries no
+	// durability obligation). Required under lossy chaos and with
+	// heartbeat failure detection.
+	ReqDeadline uint64 `json:"req_deadline,omitempty"`
+	// RetryMax, when > 0, re-replicates an un-acknowledged update to its
+	// unheard owners up to this many times with capped exponential
+	// backoff. The per-(node,range) sequence gates make retries
+	// idempotent: an owner that already released the sequence drops the
+	// duplicate, re-acknowledging when it is already durable — which is
+	// exactly how a lost ack is recovered.
+	RetryMax int `json:"retry_max,omitempty"`
+	// RetryBase is the first retry backoff in cycles (0 = 4*NetRTT).
+	RetryBase uint64 `json:"retry_base,omitempty"`
+	// RetryCap caps the exponential backoff (0 = 8*RetryBase).
+	RetryCap uint64 `json:"retry_cap,omitempty"`
+	// HedgeQuantile, when in (0,1), sends one early retransmission to the
+	// unheard owners once an update has waited past that quantile of the
+	// collector's observed completion latencies (2*NetRTT until the
+	// collector has observed any).
+	HedgeQuantile float64 `json:"hedge_quantile,omitempty"`
+	// ShedHighWater, when > 0, sheds new client arrivals at a primary
+	// whose FIFO has reached this depth — explicit load-shedding ahead of
+	// the hard QueueCap drop, counted separately. Replication and
+	// catch-up traffic is never shed.
+	ShedHighWater int `json:"shed_high_water,omitempty"`
+	// HeartbeatEvery, when > 0, replaces oracle failover with
+	// heartbeat/lease failure detection: every tick each up node beats
+	// every other up node through the (chaos-afflicted) fabric, and a
+	// range fails over only when a live owner has heard nothing from its
+	// primary for LeaseCycles. Partitions and gray nodes can therefore
+	// cause wrong suspicions, and crashes are detected late rather than
+	// instantly. Requires ReqDeadline.
+	HeartbeatEvery uint64 `json:"heartbeat_every,omitempty"`
+	// LeaseCycles is the suspicion threshold (0 = 4*HeartbeatEvery; must
+	// exceed HeartbeatEvery). It also paces catch-up fetch retries.
+	LeaseCycles uint64 `json:"lease_cycles,omitempty"`
+	// BreakDedup deliberately re-applies duplicate sequence deliveries
+	// instead of dropping them — the negative control that must make the
+	// end-of-run audit report an idempotency violation whenever
+	// duplicates or retries occur. Test hook; never set in experiments.
+	BreakDedup bool `json:"break_dedup,omitempty"`
+	// Chaos, when non-nil and enabled, layers a deterministic fault plan
+	// over the network fabric: per-message drop/duplicate/delay/reorder
+	// fates, cycle-windowed partitions and gray nodes (internal/chaos).
+	// Lossy plans require ReqDeadline and HeartbeatEvery to be set.
+	Chaos *chaos.Plan `json:"chaos,omitempty"`
 	// Seed drives arrivals, keys, network jitter and crash line fates.
 	Seed int64 `json:"seed"`
 	// SSBEntries overrides the SP store-buffer size (0 = default).
@@ -204,6 +254,17 @@ func (c Config) withDefaults() Config {
 	if c.CatchupBatch == 0 {
 		c.CatchupBatch = 32
 	}
+	if c.RetryMax > 0 {
+		if c.RetryBase == 0 {
+			c.RetryBase = 4 * c.NetRTT
+		}
+		if c.RetryCap == 0 {
+			c.RetryCap = 8 * c.RetryBase
+		}
+	}
+	if c.HeartbeatEvery > 0 && c.LeaseCycles == 0 {
+		c.LeaseCycles = 4 * c.HeartbeatEvery
+	}
 	return c
 }
 
@@ -279,6 +340,53 @@ func (c Config) Validate() error {
 	if d.SSBEntries < 0 {
 		return fmt.Errorf("cluster: SSB size must be non-negative, got %d", d.SSBEntries)
 	}
+	if err := d.Chaos.Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if d.Chaos != nil {
+		for i, w := range d.Chaos.Partitions {
+			for _, n := range w.Group {
+				if n >= d.Nodes {
+					return fmt.Errorf("cluster: chaos partition %d names node %d beyond the %d-node fleet", i, n, d.Nodes)
+				}
+			}
+		}
+		for i, g := range d.Chaos.Grays {
+			if g.Node >= d.Nodes {
+				return fmt.Errorf("cluster: chaos gray %d names node %d beyond the %d-node fleet", i, g.Node, d.Nodes)
+			}
+		}
+	}
+	if d.RetryMax < 0 {
+		return fmt.Errorf("cluster: retry count must be non-negative, got %d", d.RetryMax)
+	}
+	if d.RetryMax > 0 && d.RetryCap < d.RetryBase {
+		return fmt.Errorf("cluster: retry backoff cap %d below base %d", d.RetryCap, d.RetryBase)
+	}
+	if d.HedgeQuantile != 0 && (d.HedgeQuantile < 0 || d.HedgeQuantile >= 1) {
+		return fmt.Errorf("cluster: hedge quantile must be 0 (off) or in (0,1), got %g", d.HedgeQuantile)
+	}
+	if d.ShedHighWater < 0 || d.ShedHighWater > d.QueueCap {
+		return fmt.Errorf("cluster: shed high-water mark must be in [0, queue cap %d], got %d", d.QueueCap, d.ShedHighWater)
+	}
+	if d.HeartbeatEvery > 0 {
+		if d.LeaseCycles <= d.HeartbeatEvery {
+			return fmt.Errorf("cluster: lease %d must exceed the heartbeat period %d", d.LeaseCycles, d.HeartbeatEvery)
+		}
+		if d.ReqDeadline == 0 {
+			return fmt.Errorf("cluster: heartbeat failure detection needs request deadlines (set req-deadline)")
+		}
+	} else if d.LeaseCycles > 0 {
+		return fmt.Errorf("cluster: lease cycles need heartbeats (set heartbeat-every)")
+	}
+	if d.Chaos.Lossy() {
+		if d.ReqDeadline == 0 {
+			return fmt.Errorf("cluster: lossy chaos (drops or partitions) needs request deadlines (set req-deadline)")
+		}
+		if d.HeartbeatEvery == 0 {
+			return fmt.Errorf("cluster: lossy chaos needs heartbeat failure detection (set heartbeat-every)")
+		}
+	}
 	return nil
 }
 
@@ -344,6 +452,8 @@ type pendingReq struct {
 	possible  int // owners that could still ack
 	ackedBy   []int
 	get       bool
+	retries   int  // backoff retransmissions issued
+	hedged    bool // the one hedged send has fired
 }
 
 // completedRec records a completed update for the end-of-run durability
@@ -406,11 +516,16 @@ type node struct {
 
 	hist hist.Histogram // completions collected here (as primary)
 
+	// Failure detection (heartbeat mode): last cycle anything was heard
+	// from each peer, refreshed by every delivered message.
+	lastBeat []uint64
+
 	// Catch-up state (stateRecovering only).
 	recoverAt        uint64
 	catchupTarget    map[int]uint64
 	catchupNext      map[int]uint64
 	fetchOutstanding bool
+	fetchAt          uint64 // send cycle of the outstanding fetch (retry pacing)
 
 	// Counters.
 	acks       uint64
@@ -434,10 +549,31 @@ type Stats struct {
 	Groups      uint64 `json:"groups"`      // commit groups issued fleet-wide
 	Crashes     uint64 `json:"crashes"`
 	Rejoins     uint64 `json:"rejoins"`
-	Failovers   uint64 `json:"failovers"`  // primaryships moved off a crashed node
+	Failovers   uint64 `json:"failovers"`  // primaryships moved off a suspected or crashed node
 	Rebalances  uint64 `json:"rebalances"` // primaryships moved by the load balancer
 	Ranges      int    `json:"ranges"`
 	SpanCycles  uint64 `json:"span_cycles"`
+
+	// Robustness counters (zero in kind, oracle-failover runs).
+	Shed            uint64 `json:"shed,omitempty"`             // load-shed at the high-water mark
+	TimedOut        uint64 `json:"timed_out,omitempty"`        // deadline expired before the quorum
+	Retries         uint64 `json:"retries,omitempty"`          // backoff retransmission rounds
+	Hedges          uint64 `json:"hedges,omitempty"`           // quantile-delay hedged retransmissions
+	DupDrops        uint64 `json:"dup_drops,omitempty"`        // duplicate sequence deliveries dropped at a gate
+	ReAcks          uint64 `json:"re_acks,omitempty"`          // duplicates of already-durable updates re-acknowledged
+	DupAcks         uint64 `json:"dup_acks,omitempty"`         // duplicate per-owner acks ignored by collectors
+	Heartbeats      uint64 `json:"heartbeats,omitempty"`       // liveness beats sent
+	Suspicions      uint64 `json:"suspicions,omitempty"`       // lease expiries that moved a primaryship
+	WrongSuspicions uint64 `json:"wrong_suspicions,omitempty"` // ... whose suspect was alive (partition/gray)
+	RepairOps       uint64 `json:"repair_ops,omitempty"`       // gap-repair updates fetched by live nodes
+	Misapplies      uint64 `json:"misapplies,omitempty"`       // out-of-order durable applies (broken dedup)
+
+	// Network chaos accounting (from the fabric).
+	NetChaosDropped   uint64 `json:"net_chaos_dropped,omitempty"`
+	NetChaosCut       uint64 `json:"net_chaos_cut,omitempty"`
+	NetChaosDupped    uint64 `json:"net_chaos_dupped,omitempty"`
+	NetChaosDelayed   uint64 `json:"net_chaos_delayed,omitempty"`
+	NetChaosReordered uint64 `json:"net_chaos_reordered,omitempty"`
 }
 
 // NodeResult summarizes one node's run.
@@ -475,6 +611,10 @@ type Result struct {
 	// Metrics is the unified snapshot: cluster.* counters plus each node's
 	// machine counters under "nodeN." prefixes.
 	Metrics obs.Snapshot `json:"metrics,omitempty"`
+
+	// Audit is the invariant checker's report, present only on RunAudited
+	// runs (plain Run fails hard on any breach instead).
+	Audit *Audit `json:"audit,omitempty"`
 }
 
 // fleet is the simulation state of one Run.
@@ -488,30 +628,96 @@ type fleet struct {
 
 	rangeLog  [][]logEntry
 	rangeHeat []uint64 // arrivals since the last rebalance tick
-	pending   map[int]*pendingReq
+	pending   *pendingSet
 	completed []completedRec
 
 	crashDone   bool
 	recoverDone bool
 	nextRebal   uint64
+	nextBeat    uint64
+
+	timers   timerHeap
+	timerSeq uint64
+
+	auditRep Audit
 
 	stats Stats
 	err   error
 }
 
-// event kinds, in tie-break priority order at equal cycles.
+// detection reports whether failover is heartbeat/lease-driven rather
+// than oracle-instant.
+func (s *fleet) detection() bool { return s.cfg.HeartbeatEvery > 0 }
+
+// event kinds, in tie-break priority order at equal cycles. A delivery
+// beats a timer at the same cycle, so an ack arriving exactly at the
+// deadline still completes its request.
 const (
 	evArrival = iota
 	evDeliver
+	evTimer
 	evCrash
 	evRecover
 	evRebalance
+	evHeartbeat
 	evStart
 	evStep
 )
 
-// Run simulates one fleet configuration to completion.
+// timerKind discriminates client-side timers.
+type timerKind int
+
+const (
+	timerDeadline timerKind = iota
+	timerRetry
+	timerHedge
+)
+
+// timer is one pending client-side event; timers are totally ordered by
+// (cycle, creation sequence), so firing order is deterministic.
+type timer struct {
+	at    uint64
+	seq   uint64
+	kind  timerKind
+	reqID int
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// addTimer schedules a client-side timer.
+func (s *fleet) addTimer(at uint64, kind timerKind, reqID int) {
+	heap.Push(&s.timers, timer{at: at, seq: s.timerSeq, kind: kind, reqID: reqID})
+	s.timerSeq++
+}
+
+// Run simulates one fleet configuration to completion. Invariant
+// breaches are errors: a violation means the engine (or a deliberately
+// broken knob like BreakDedup) let an acknowledged update escape
+// durability, and a plain run must not return numbers built on that.
 func Run(cfg Config) (Result, error) {
+	return run(cfg, false)
+}
+
+// RunAudited is Run with the invariant checker in reporting mode: the
+// no-lost-ack / idempotency / order audit lands in Result.Audit instead
+// of failing the run, so chaos campaigns can count and delta-minimize
+// violations (and negative controls can prove the checker catches them).
+func RunAudited(cfg Config) (Result, error) {
+	return run(cfg, true)
+}
+
+func run(cfg Config, audited bool) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -520,19 +726,21 @@ func Run(cfg Config) (Result, error) {
 	s := &fleet{
 		cfg:     cfg,
 		ring:    NewRing(cfg.Nodes, cfg.VNodes, cfg.Replicas),
-		net:     newNetwork(cfg.Seed+0x5eed, cfg.NetRTT, cfg.NetJitter),
+		net:     newNetwork(cfg.Seed+0x5eed, cfg.NetRTT, cfg.NetJitter, cfg.Chaos),
 		tl:      cfg.Timeline,
 		reg:     obs.NewRegistry(),
-		pending: map[int]*pendingReq{},
+		pending: newPendingSet(),
 	}
 	s.rangeLog = make([][]logEntry, s.ring.NumRanges())
 	s.rangeHeat = make([]uint64, s.ring.NumRanges())
 	s.stats.Ranges = s.ring.NumRanges()
 	s.nextRebal = cfg.RebalanceEvery
+	s.nextBeat = cfg.HeartbeatEvery
 	s.registerCounters()
 
 	for i := 0; i < cfg.Nodes; i++ {
-		n := &node{idx: i, gates: map[int]*rangeGate{}, appliedDur: map[int]uint64{}}
+		n := &node{idx: i, gates: map[int]*rangeGate{}, appliedDur: map[int]uint64{},
+			lastBeat: make([]uint64, cfg.Nodes)}
 		if err := s.buildMachine(n); err != nil {
 			return Result{}, err
 		}
@@ -541,6 +749,12 @@ func Run(cfg Config) (Result, error) {
 
 	if err := s.loop(genArrivals(cfg)); err != nil {
 		return Result{}, err
+	}
+	if audited {
+		a := s.audit()
+		r := s.result()
+		r.Audit = &a
+		return r, nil
 	}
 	if err := s.check(); err != nil {
 		return Result{}, err
@@ -608,6 +822,22 @@ func (s *fleet) registerCounters() {
 	s.reg.RegisterFunc("cluster.rebalances", func() uint64 { return s.stats.Rebalances })
 	s.reg.RegisterFunc("cluster.ranges", func() uint64 { return uint64(s.stats.Ranges) })
 	s.reg.RegisterFunc("cluster.span_cycles", func() uint64 { return s.stats.SpanCycles })
+	s.reg.RegisterFunc("cluster.shed", func() uint64 { return s.stats.Shed })
+	s.reg.RegisterFunc("cluster.timed_out", func() uint64 { return s.stats.TimedOut })
+	s.reg.RegisterFunc("cluster.retries", func() uint64 { return s.stats.Retries })
+	s.reg.RegisterFunc("cluster.hedges", func() uint64 { return s.stats.Hedges })
+	s.reg.RegisterFunc("cluster.dup_drops", func() uint64 { return s.stats.DupDrops })
+	s.reg.RegisterFunc("cluster.re_acks", func() uint64 { return s.stats.ReAcks })
+	s.reg.RegisterFunc("cluster.dup_acks", func() uint64 { return s.stats.DupAcks })
+	s.reg.RegisterFunc("cluster.heartbeats", func() uint64 { return s.stats.Heartbeats })
+	s.reg.RegisterFunc("cluster.suspicions", func() uint64 { return s.stats.Suspicions })
+	s.reg.RegisterFunc("cluster.wrong_suspicions", func() uint64 { return s.stats.WrongSuspicions })
+	s.reg.RegisterFunc("cluster.repair_ops", func() uint64 { return s.stats.RepairOps })
+	s.reg.RegisterFunc("cluster.net.chaos_dropped", func() uint64 { return s.net.chDropped })
+	s.reg.RegisterFunc("cluster.net.chaos_cut", func() uint64 { return s.net.chCut })
+	s.reg.RegisterFunc("cluster.net.chaos_dupped", func() uint64 { return s.net.chDupped })
+	s.reg.RegisterFunc("cluster.net.chaos_delayed", func() uint64 { return s.net.chDelayed })
+	s.reg.RegisterFunc("cluster.net.chaos_reordered", func() uint64 { return s.net.chReordered })
 }
 
 // span advances the fleet's last-activity cycle.
@@ -661,6 +891,9 @@ func (s *fleet) loop(arrivals []request) error {
 		if at, ok := s.net.nextAt(); ok {
 			consider(at, evDeliver, -1)
 		}
+		if len(s.timers) > 0 {
+			consider(s.timers[0].at, evTimer, -1)
+		}
 		if s.cfg.CrashAt > 0 && !s.crashDone {
 			consider(s.cfg.CrashAt, evCrash, -1)
 		}
@@ -677,10 +910,14 @@ func (s *fleet) loop(arrivals []request) error {
 		if bestKind == -1 {
 			break
 		}
-		// The rebalance tick only competes while other work is pending, so
-		// a periodic event can never keep a drained fleet alive.
+		// The rebalance and heartbeat ticks only compete while other work
+		// is pending, so a periodic event can never keep a drained fleet
+		// alive. Heartbeats win equal-cycle ties (checked last).
 		if s.cfg.RebalanceEvery > 0 && s.nextRebal <= bestT {
 			bestT, bestKind, bestNode = s.nextRebal, evRebalance, -1
+		}
+		if s.cfg.HeartbeatEvery > 0 && s.nextBeat <= bestT {
+			bestT, bestKind, bestNode = s.nextBeat, evHeartbeat, -1
 		}
 		switch bestKind {
 		case evArrival:
@@ -689,6 +926,8 @@ func (s *fleet) loop(arrivals []request) error {
 			s.arrive(r)
 		case evDeliver:
 			s.deliver(s.net.pop())
+		case evTimer:
+			s.fireTimer(bestT)
 		case evCrash:
 			s.crashDone = true
 			s.crashNode(s.cfg.CrashNode, bestT)
@@ -698,6 +937,9 @@ func (s *fleet) loop(arrivals []request) error {
 		case evRebalance:
 			s.rebalance(bestT)
 			s.nextRebal += s.cfg.RebalanceEvery
+		case evHeartbeat:
+			s.heartbeatTick(bestT)
+			s.nextBeat += s.cfg.HeartbeatEvery
 		case evStart:
 			s.startRun(s.nodes[bestNode], bestT)
 		case evStep:
@@ -708,13 +950,18 @@ func (s *fleet) loop(arrivals []request) error {
 		}
 	}
 	s.stats.NetMsgs = s.net.sent
-	acct := s.stats.Completed + s.stats.Dropped + s.stats.Failed + s.stats.Unavailable
+	s.stats.NetChaosDropped = s.net.chDropped
+	s.stats.NetChaosCut = s.net.chCut
+	s.stats.NetChaosDupped = s.net.chDupped
+	s.stats.NetChaosDelayed = s.net.chDelayed
+	s.stats.NetChaosReordered = s.net.chReordered
+	acct := s.stats.Completed + s.stats.Dropped + s.stats.Shed + s.stats.TimedOut + s.stats.Failed + s.stats.Unavailable
 	if acct != s.stats.Offered {
-		return fmt.Errorf("cluster: request accounting broken: %d completed + %d dropped + %d failed + %d unavailable != %d offered",
-			s.stats.Completed, s.stats.Dropped, s.stats.Failed, s.stats.Unavailable, s.stats.Offered)
+		return fmt.Errorf("cluster: request accounting broken: %d completed + %d dropped + %d shed + %d timed-out + %d failed + %d unavailable != %d offered",
+			s.stats.Completed, s.stats.Dropped, s.stats.Shed, s.stats.TimedOut, s.stats.Failed, s.stats.Unavailable, s.stats.Offered)
 	}
-	if len(s.pending) > 0 {
-		return fmt.Errorf("cluster: %d requests still pending after the fleet drained", len(s.pending))
+	if s.pending.len() > 0 {
+		return fmt.Errorf("cluster: %d requests still pending after the fleet drained", s.pending.len())
 	}
 	return nil
 }
@@ -750,6 +997,12 @@ func (s *fleet) arrive(r request) {
 			return
 		}
 	}
+	if s.cfg.ShedHighWater > 0 && len(pn.queue) >= s.cfg.ShedHighWater {
+		s.stats.Shed++
+		s.span(r.at)
+		s.tl.Instant(obs.TrackCluster, "cluster.shed", r.at)
+		return
+	}
 	if len(pn.queue) >= s.cfg.QueueCap {
 		s.stats.Dropped++
 		s.span(r.at)
@@ -757,11 +1010,24 @@ func (s *fleet) arrive(r request) {
 		return
 	}
 	pd := &pendingReq{reqID: r.id, rid: rid, at: r.at, collector: p, need: need, possible: possible, get: r.get}
-	s.pending[r.id] = pd
+	s.pending.put(r.id, pd)
+	if s.cfg.ReqDeadline > 0 {
+		s.addTimer(r.at+s.cfg.ReqDeadline, timerDeadline, r.id)
+	}
 	if r.get {
 		// Primary-only, unsequenced: straight into the FIFO.
 		pn.queue = append(pn.queue, item{rid: rid, key: r.key, get: true, reqID: r.id, enq: r.at})
 		return
+	}
+	if s.cfg.HedgeQuantile > 0 {
+		d := pn.hist.Quantile(s.cfg.HedgeQuantile)
+		if d == 0 {
+			d = 2 * s.cfg.NetRTT // no completions observed yet
+		}
+		s.addTimer(r.at+d, timerHedge, r.id)
+	}
+	if s.cfg.RetryMax > 0 {
+		s.addTimer(r.at+s.cfg.RetryBase, timerRetry, r.id)
 	}
 	seq := uint64(len(s.rangeLog[rid]))
 	s.rangeLog[rid] = append(s.rangeLog[rid], logEntry{key: r.key, reqID: r.id})
@@ -777,8 +1043,155 @@ func (s *fleet) arrive(r request) {
 	}
 }
 
+// fireTimer pops and dispatches the earliest client-side timer. Timers
+// for requests that already completed (or failed, or timed out) are
+// no-ops — completion does not unschedule them, it just empties them.
+func (s *fleet) fireTimer(t uint64) {
+	tm := heap.Pop(&s.timers).(timer)
+	p, ok := s.pending.get(tm.reqID)
+	if !ok {
+		return
+	}
+	switch tm.kind {
+	case timerDeadline:
+		s.pending.del(tm.reqID)
+		s.stats.TimedOut++
+		s.span(t)
+		s.tl.Instant(obs.TrackCluster, "cluster.timeout", t)
+	case timerRetry:
+		if p.get || p.got >= p.need || p.retries >= s.cfg.RetryMax {
+			return
+		}
+		p.retries++
+		s.stats.Retries++
+		s.retransmit(p, t)
+		if p.retries < s.cfg.RetryMax {
+			gap := s.cfg.RetryBase << uint(p.retries)
+			if gap > s.cfg.RetryCap {
+				gap = s.cfg.RetryCap
+			}
+			s.addTimer(t+gap, timerRetry, p.reqID)
+		}
+	case timerHedge:
+		if p.get || p.hedged || p.got >= p.need {
+			return
+		}
+		p.hedged = true
+		s.stats.Hedges++
+		s.retransmit(p, t)
+	}
+}
+
+// retransmit re-sends one pending update to every up owner whose ack has
+// not arrived. The sequence gates make this idempotent: an owner that
+// already released the sequence drops it (re-acking when durable), one
+// that lost it to the network gets its gap filled.
+func (s *fleet) retransmit(p *pendingReq, t uint64) {
+	if s.nodes[p.collector].state == stateCrashed {
+		return // nobody to collect; the deadline reaps this request
+	}
+	e := s.rangeLog[p.rid][p.seq]
+	it := item{rid: p.rid, seq: p.seq, key: e.key, reqID: p.reqID}
+	for _, o := range s.ring.Owners(p.rid) {
+		if o == p.collector || s.nodes[o].state == stateCrashed {
+			continue
+		}
+		acked := false
+		for _, a := range p.ackedBy {
+			if a == o {
+				acked = true
+				break
+			}
+		}
+		if acked {
+			continue
+		}
+		s.net.send(&message{from: p.collector, to: o, kind: msgReplicate, item: it}, t)
+		s.stats.ReplMsgs++
+	}
+}
+
+// heartbeatTick runs the failure-detection round: beats between all up
+// nodes (through the chaos fabric, so partitions starve them), lease
+// checks that move primaryships off silent primaries, gap-repair fetches
+// for live nodes whose gates prove a lost delivery, and catch-up fetch
+// retries for recovering nodes.
+func (s *fleet) heartbeatTick(t uint64) {
+	for a, na := range s.nodes {
+		if na.state == stateCrashed {
+			continue
+		}
+		for b, nb := range s.nodes {
+			if b == a || nb.state == stateCrashed {
+				continue
+			}
+			s.net.send(&message{from: a, to: b, kind: msgHeartbeat}, t)
+			s.stats.Heartbeats++
+		}
+	}
+	// Lease check: the first live owner that has heard nothing from its
+	// range's primary for a lease takes the primaryship. The suspect may
+	// be perfectly alive behind a partition or gray window — that wrong
+	// suspicion is counted, and the no-lost-ack audit must survive it.
+	for rid := 0; rid < s.ring.NumRanges(); rid++ {
+		p := s.ring.Primary(rid)
+		for _, o := range s.ring.Owners(rid) {
+			if o == p || s.nodes[o].state != stateLive {
+				continue
+			}
+			if s.nodes[o].lastBeat[p]+s.cfg.LeaseCycles > t {
+				continue
+			}
+			s.stats.Suspicions++
+			if s.nodes[p].state == stateLive {
+				s.stats.WrongSuspicions++
+			}
+			s.ring.SetPrimary(rid, o)
+			s.stats.Failovers++
+			s.tl.Instant(obs.TrackCluster, "cluster.failover", t)
+			break
+		}
+	}
+	// Gap repair: a live node with buffered out-of-order deliveries is
+	// missing earlier sequences (lost, or still in flight — over-fetching
+	// is idempotent). One repair fetch per node per tick.
+	for _, n := range s.nodes {
+		switch n.state {
+		case stateLive:
+			for _, rid := range s.ring.RangesOwnedBy(n.idx) {
+				g := n.gates[rid]
+				if g == nil || len(g.buf) == 0 {
+					continue
+				}
+				src := s.ring.Primary(rid)
+				if s.nodes[src].state == stateCrashed {
+					continue
+				}
+				want := int(uint64(len(s.rangeLog[rid])) - g.next)
+				if want > s.cfg.CatchupBatch {
+					want = s.cfg.CatchupBatch
+				}
+				s.net.send(&message{from: n.idx, to: src, kind: msgFetch, rid: rid, lo: g.next, n: want}, t)
+				break
+			}
+		case stateRecovering:
+			if !n.fetchOutstanding {
+				s.scheduleFetch(n, t)
+			} else if n.fetchAt+s.cfg.LeaseCycles <= t {
+				// The fetch or its response was lost; re-issue.
+				n.fetchOutstanding = false
+				s.scheduleFetch(n, t)
+			}
+		}
+	}
+}
+
 // gateDeliver feeds one sequenced update through node n's per-range
-// in-order gate, releasing every contiguous sequence into the FIFO.
+// in-order gate, releasing every contiguous sequence into the FIFO. The
+// gate is also the idempotency barrier: a sequence it already released
+// (network duplicate, retry, hedge, over-wide repair fetch) is dropped,
+// and when the update is already durable here its ack is re-sent — which
+// is how an ack lost to the network is recovered.
 func (s *fleet) gateDeliver(n *node, it item, t uint64) {
 	g := n.gates[it.rid]
 	if g == nil {
@@ -786,7 +1199,25 @@ func (s *fleet) gateDeliver(n *node, it item, t uint64) {
 		n.gates[it.rid] = g
 	}
 	if it.seq < g.next {
-		s.err = fmt.Errorf("cluster: node %d range %d: stale delivery of seq %d (gate at %d)", n.idx, it.rid, it.seq, g.next)
+		if s.cfg.BreakDedup && it.reqID >= 0 {
+			// Negative control: re-apply the duplicate. The audit must
+			// catch the double durable apply this causes.
+			it.enq = t
+			n.queue = append(n.queue, it)
+			return
+		}
+		if it.reqID >= 0 && it.seq < n.appliedDur[it.rid] {
+			if p, ok := s.pending.get(it.reqID); ok && !p.get {
+				s.stats.ReAcks++
+				if n.idx == p.collector {
+					s.ackArrived(p, n.idx, t)
+				} else {
+					s.net.send(&message{from: n.idx, to: p.collector, kind: msgAck, reqID: it.reqID}, t)
+				}
+				return
+			}
+		}
+		s.stats.DupDrops++
 		return
 	}
 	if it.seq > g.next {
@@ -809,7 +1240,14 @@ func (s *fleet) gateDeliver(n *node, it item, t uint64) {
 // deliver processes one network message at its delivery cycle.
 func (s *fleet) deliver(m *message) {
 	to := s.nodes[m.to]
+	if to.state != stateCrashed {
+		// Every delivered message doubles as a liveness signal; deliveries
+		// pop in cycle order, so lastBeat is monotonic.
+		to.lastBeat[m.from] = m.at
+	}
 	switch m.kind {
+	case msgHeartbeat:
+		// Nothing beyond the lastBeat refresh above.
 	case msgReplicate:
 		if to.state == stateCrashed {
 			return // lost with the node; catch-up re-fetches it
@@ -819,42 +1257,74 @@ func (s *fleet) deliver(m *message) {
 		}
 		s.gateDeliver(to, m.item, m.at)
 	case msgAck:
-		p, ok := s.pending[m.reqID]
+		p, ok := s.pending.get(m.reqID)
 		if !ok {
-			return // completed or failed meanwhile; late acks are harmless
+			return // completed, failed or timed out meanwhile; late acks are harmless
 		}
 		s.ackArrived(p, m.from, m.at)
 	case msgFetch:
-		// Serve rangeLog[lo, lo+n) back to the recovering node.
+		if to.state == stateCrashed {
+			return // server is down; the requester's retry re-targets
+		}
+		// Serve rangeLog[lo, lo+n) back to the requester.
 		entries := s.rangeLog[m.rid][m.lo : m.lo+uint64(m.n)]
 		items := make([]item, len(entries))
 		for i, e := range entries {
 			items[i] = item{rid: m.rid, seq: m.lo + uint64(i), key: e.key, reqID: -1}
 		}
-		s.net.send(&message{from: m.to, to: m.from, kind: msgFetchResp, rid: m.rid, items: items}, m.at)
+		s.net.send(&message{from: m.to, to: m.from, kind: msgFetchResp, rid: m.rid, lo: m.lo, items: items}, m.at)
 	case msgFetchResp:
-		if to.state != stateRecovering {
+		if to.state == stateCrashed {
+			return
+		}
+		if to.state == stateLive {
+			// Gap repair: fill the gate; stale entries drop at the gate.
+			for _, it := range m.items {
+				s.gateDeliver(to, it, m.at)
+				if s.err != nil {
+					return
+				}
+			}
+			s.stats.RepairOps += uint64(len(m.items))
 			return
 		}
 		for _, it := range m.items {
 			s.gateDeliver(to, it, m.at)
+			if s.err != nil {
+				return
+			}
 		}
 		to.catchupOps += uint64(len(m.items))
 		s.stats.CatchupOps += uint64(len(m.items))
+		// Advance on receipt (duplicates are a no-op), so a lost batch is
+		// simply re-fetched rather than silently skipped.
+		if next := m.lo + uint64(len(m.items)); next > to.catchupNext[m.rid] {
+			to.catchupNext[m.rid] = next
+		}
 		to.fetchOutstanding = false
 		s.scheduleFetch(to, m.at)
 	}
 }
 
 // ackArrived books one durable-apply acknowledgement; the W-th completes
-// the request at the collector.
+// the request at the collector. Duplicate acks from one owner (network
+// duplication, retries crossing with originals) count once.
 func (s *fleet) ackArrived(p *pendingReq, from int, t uint64) {
+	for _, a := range p.ackedBy {
+		if a == from {
+			s.stats.DupAcks++
+			return
+		}
+	}
+	if s.nodes[p.collector].state == stateCrashed {
+		return // the collector is down: the ack is lost on arrival
+	}
 	p.got++
 	p.ackedBy = append(p.ackedBy, from)
 	if p.got < p.need {
 		return
 	}
-	delete(s.pending, p.reqID)
+	s.pending.del(p.reqID)
 	if t < p.at {
 		s.err = fmt.Errorf("cluster: request %d completed at %d before its arrival %d", p.reqID, t, p.at)
 		return
@@ -915,6 +1385,9 @@ func (s *fleet) stepNode(n *node, limit uint64) {
 	if s.cfg.RebalanceEvery > 0 && s.nextRebal < limit {
 		limit = s.nextRebal
 	}
+	if s.cfg.HeartbeatEvery > 0 && s.nextBeat < limit {
+		limit = s.nextBeat
+	}
 	for {
 		if !n.sim.StepCore(0) {
 			if len(n.inflight) > 0 && s.err == nil {
@@ -946,18 +1419,22 @@ func (s *fleet) sentinelCommit(n *node) {
 	n.inflight = n.inflight[1:]
 	for _, it := range group {
 		if !it.get {
-			if it.seq != n.appliedDur[it.rid] {
-				s.err = fmt.Errorf("cluster: node %d range %d: durable apply out of order: seq %d at position %d",
-					n.idx, it.rid, it.seq, n.appliedDur[it.rid])
-				return
+			if it.seq == n.appliedDur[it.rid] {
+				n.appliedDur[it.rid]++
+			} else {
+				// Out-of-order durable apply: only a broken dedup can cause
+				// this. Record it (the durable log keeps the duplicate, so
+				// the audit sees the double apply) instead of erroring, so
+				// the negative control is caught by the checker, not the
+				// engine.
+				s.stats.Misapplies++
 			}
-			n.appliedDur[it.rid]++
 			n.durableOps = append(n.durableOps, durOp{rid: it.rid, seq: it.seq, key: it.key})
 		}
 		if it.reqID < 0 {
 			continue // catch-up replay: the client was answered (or failed) long ago
 		}
-		p, ok := s.pending[it.reqID]
+		p, ok := s.pending.get(it.reqID)
 		if !ok {
 			continue
 		}
@@ -979,21 +1456,17 @@ func (s *fleet) sentinelCommit(n *node) {
 }
 
 // sortedPendingIDs returns the pending request IDs ascending, for
-// deterministic crash-time iteration.
+// deterministic crash-time iteration (an ordered walk of the pending
+// set — no per-crash sort).
 func (s *fleet) sortedPendingIDs() []int {
-	ids := make([]int, 0, len(s.pending))
-	for id := range s.pending {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
+	return s.pending.sortedIDs()
 }
 
 // fail abandons one pending request: its quorum became impossible. The
 // update may still be durable on surviving owners — failed means
 // un-acknowledged, never acknowledged-and-lost.
 func (s *fleet) fail(p *pendingReq, t uint64) {
-	delete(s.pending, p.reqID)
+	s.pending.del(p.reqID)
 	s.stats.Failed++
 	s.span(t)
 	s.tl.Instant(obs.TrackCluster, "cluster.failed", t)
@@ -1031,11 +1504,21 @@ func (s *fleet) crashNode(idx int, t uint64) {
 	c.queue, c.inflight, c.busy = nil, nil, false
 	c.gates = map[int]*rangeGate{}
 
+	if s.detection() {
+		// No oracle knowledge: stranded quorums run into their deadlines,
+		// and primaryships move only when leases expire at the heartbeat
+		// tick.
+		return
+	}
+
 	// Repair pending quorums: requests collected here can no longer be
 	// acknowledged; elsewhere, this node's ack is off the table unless the
 	// update was already durable here (its ack survives in flight).
 	for _, id := range s.sortedPendingIDs() {
-		p := s.pending[id]
+		p, ok := s.pending.get(id)
+		if !ok {
+			continue
+		}
 		if p.collector == idx {
 			s.fail(p, t)
 			continue
@@ -1088,6 +1571,9 @@ func (s *fleet) recoverNode(idx int, t uint64) {
 	c.state = stateRecovering
 	c.recoverAt = t
 	c.gates = map[int]*rangeGate{}
+	for i := range c.lastBeat {
+		c.lastBeat[i] = t // a fresh lease for everyone; no instant suspicion
+	}
 	c.catchupTarget = map[int]uint64{}
 	c.catchupNext = map[int]uint64{}
 	for _, rid := range s.ring.RangesOwnedBy(idx) {
@@ -1101,7 +1587,11 @@ func (s *fleet) recoverNode(idx int, t uint64) {
 
 // scheduleFetch issues the next catch-up batch (one outstanding at a
 // time): the lowest-numbered range still behind its target, fetched from
-// its current primary.
+// its current primary. catchupNext advances only when a response lands
+// (see deliver), so a batch lost to the network is re-fetched, not
+// skipped. In detection mode a range without a live primary is skipped
+// and retried at the next heartbeat tick; with an oracle that state is a
+// bug.
 func (s *fleet) scheduleFetch(c *node, t uint64) {
 	if c.fetchOutstanding {
 		return
@@ -1122,11 +1612,14 @@ func (s *fleet) scheduleFetch(c *node, t uint64) {
 		}
 		src := s.ring.Primary(rid)
 		if src == c.idx || s.nodes[src].state != stateLive {
+			if s.detection() {
+				continue // retried at the next heartbeat tick
+			}
 			s.err = fmt.Errorf("cluster: node %d cannot catch up range %d: no live primary", c.idx, rid)
 			return
 		}
-		c.catchupNext[rid] = lo + uint64(n)
 		c.fetchOutstanding = true
+		c.fetchAt = t
 		s.net.send(&message{from: c.idx, to: src, kind: msgFetch, rid: rid, lo: lo, n: n}, t)
 		return
 	}
@@ -1208,21 +1701,34 @@ func (s *fleet) rebalance(t uint64) {
 // the durable prefix of every node whose ack was counted, crashed and
 // rejoined nodes included.
 func (s *fleet) check() error {
+	lossy := s.cfg.Chaos.Lossy()
 	for _, n := range s.nodes {
 		if n.state == stateCrashed {
 			continue // down for the rest of the run; its durable prefix stands
 		}
 		if n.state == stateRecovering {
+			if lossy {
+				continue // catch-up can be starved by drops; un-rejoined is legal
+			}
 			return fmt.Errorf("cluster: node %d never finished catching up", n.idx)
 		}
 		if err := n.be.St.Check(); err != nil {
 			return fmt.Errorf("cluster: node %d after run: %w", n.idx, err)
+		}
+		if lossy {
+			// Full per-owner replication is a kind-world property: a
+			// trailing drop can leave a replica short without violating
+			// anything acknowledged. The audit owns the real invariant.
+			continue
 		}
 		for _, rid := range s.ring.RangesOwnedBy(n.idx) {
 			if got, want := n.appliedDur[rid], uint64(len(s.rangeLog[rid])); got != want {
 				return fmt.Errorf("cluster: node %d range %d: %d of %d updates durably applied", n.idx, rid, got, want)
 			}
 		}
+	}
+	if s.stats.Misapplies > 0 {
+		return fmt.Errorf("cluster: %d out-of-order durable applies (duplicate sequence re-applied: broken dedup)", s.stats.Misapplies)
 	}
 	for _, rec := range s.completed {
 		for _, a := range rec.ackedBy {

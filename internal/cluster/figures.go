@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"specpersist/internal/chaos"
 	"specpersist/internal/core"
 	"specpersist/internal/report"
 	"specpersist/internal/sweep"
@@ -327,4 +328,150 @@ func RejoinCurve(points []RejoinPoint) *report.Curve {
 		c.AddSeries(v, pts)
 	}
 	return c
+}
+
+// ChaosLevel is one fault intensity of the chaos-capacity figure: a drop
+// fraction and optionally a partition window cutting the last node off
+// for the middle fifth of the run.
+type ChaosLevel struct {
+	Name      string  `json:"name"`
+	Drop      float64 `json:"drop"`
+	Partition bool    `json:"partition"`
+}
+
+// ChaosSweepConfig parameterizes the chaos-capacity figure: the cross
+// product of Levels, Variants and Rates simulated from Base (which must
+// carry the client robustness stack — DefaultChaosBase does).
+type ChaosSweepConfig struct {
+	Base     Config         `json:"base"`
+	Rates    []float64      `json:"rates"`
+	Variants []core.Variant `json:"variants"`
+	Levels   []ChaosLevel   `json:"levels"`
+	Workers  int            `json:"-"`
+}
+
+// DefaultChaosSweepConfig returns the harness-scale grid: a healthy
+// network, 5% drops, and drops plus a partition, across the strict
+// baseline and SP at light to moderate load.
+func DefaultChaosSweepConfig() ChaosSweepConfig {
+	return ChaosSweepConfig{
+		Base:     DefaultChaosBase(),
+		Rates:    []float64{25, 50, 100},
+		Variants: []core.Variant{core.VariantLogPSf, core.VariantSP},
+		Levels: []ChaosLevel{
+			{Name: "none"},
+			{Name: "drops", Drop: 0.05},
+			{Name: "drops+partition", Drop: 0.05, Partition: true},
+		},
+	}
+}
+
+// levelPlan assembles one level's chaos plan for a run spanning roughly
+// span cycles over nodes servers. A nil return means a kind network.
+func levelPlan(l ChaosLevel, nodes int, span uint64) *chaos.Plan {
+	if l.Drop == 0 && !l.Partition {
+		return nil
+	}
+	p := &chaos.Plan{Seed: 1, Drop: l.Drop}
+	if l.Partition {
+		p.Partitions = []chaos.Partition{{From: span / 5, To: 2 * span / 5, Group: []int{nodes - 1}}}
+	}
+	return p
+}
+
+// ChaosPoint is one chaos-capacity grid cell.
+type ChaosPoint struct {
+	Level   string  `json:"level"`
+	Rate    float64 `json:"rate"`
+	Variant string  `json:"variant"`
+	Result  Result  `json:"result"`
+}
+
+// ChaosSweep simulates the grid on the shared worker pool, in
+// deterministic grid order (level, variant, rate).
+func ChaosSweep(sc ChaosSweepConfig) ([]ChaosPoint, error) {
+	type cell struct {
+		l    ChaosLevel
+		v    core.Variant
+		rate float64
+	}
+	var grid []cell
+	for _, l := range sc.Levels {
+		for _, v := range sc.Variants {
+			for _, r := range sc.Rates {
+				grid = append(grid, cell{l: l, v: v, rate: r})
+			}
+		}
+	}
+	points := make([]ChaosPoint, len(grid))
+	err := sweep.Pool(sc.Workers, len(grid), func(i int) error {
+		c := grid[i]
+		cfg := sc.Base
+		cfg.Variant = c.v
+		cfg.Rate = c.rate
+		cfg.Timeline = nil
+		span := uint64(float64(cfg.Requests) / c.rate * 1e6)
+		cfg.Chaos = levelPlan(c.l, cfg.Nodes, span)
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("chaos sweep point %s %s rate=%g: %w", c.l.Name, c.v, c.rate, err)
+		}
+		res.Metrics = nil
+		points[i] = ChaosPoint{Level: c.l.Name, Rate: c.rate, Variant: c.v.String(), Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// ChaosCapacityTable reduces a chaos sweep to the tail-latency-under-
+// faults figure: per (fault level, rate), each variant's p99 and the
+// fraction of offered requests that still completed.
+func ChaosCapacityTable(points []ChaosPoint) *report.Table {
+	t := &report.Table{
+		Title:   "Chaos capacity: p99 (cycles) and completion under network faults",
+		Columns: []string{"faults", "rate", "Log+P+Sf p99", "done%", "SP p99", "done%", "SP p99 delta"},
+	}
+	type key struct {
+		level string
+		rate  float64
+	}
+	cells := map[key]map[string]ChaosPoint{}
+	var order []key
+	for _, p := range points {
+		k := key{p.Level, p.Rate}
+		if _, ok := cells[k]; !ok {
+			order = append(order, k)
+			cells[k] = map[string]ChaosPoint{}
+		}
+		cells[k][p.Variant] = p
+	}
+	done := func(p ChaosPoint, ok bool) string {
+		if !ok || p.Result.Stats.Offered == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(p.Result.Stats.Completed)/float64(p.Result.Stats.Offered))
+	}
+	p99 := func(p ChaosPoint, ok bool) string {
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprint(p.Result.P99)
+	}
+	for _, k := range order {
+		base, bok := cells[k][core.VariantLogPSf.String()]
+		sp, sok := cells[k][core.VariantSP.String()]
+		delta := "-"
+		if bok && sok && base.Result.P99 > 0 {
+			delta = fmt.Sprintf("%+.0f%%", (float64(sp.Result.P99)/float64(base.Result.P99)-1)*100)
+		}
+		t.AddRow(k.level, fmt.Sprintf("%.0f", k.rate),
+			p99(base, bok), done(base, bok), p99(sp, sok), done(sp, sok), delta)
+	}
+	t.AddNote("all cells run the full robustness stack: deadlines, retries, hedging, heartbeat failover")
+	t.AddNote("drops = 5%% of messages; partition cuts the last node off for the middle fifth of the run")
+	t.AddNote("done%% counts quorum-acknowledged requests; the rest timed out, shed or found no quorum")
+	return t
 }

@@ -67,3 +67,37 @@ func TestRejoinSweepTiny(t *testing.T) {
 		}
 	}
 }
+
+func TestChaosSweepTinyGrid(t *testing.T) {
+	sc := DefaultChaosSweepConfig()
+	sc.Base.Requests = 80
+	sc.Rates = []float64{40}
+	sc.Variants = []core.Variant{core.VariantSP}
+	points, err := ChaosSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sc.Levels); len(points) != want {
+		t.Fatalf("%d chaos points, want %d", len(points), want)
+	}
+	byLevel := map[string]ChaosPoint{}
+	for _, p := range points {
+		byLevel[p.Level] = p
+	}
+	if n, d := byLevel["none"].Result.P99, byLevel["drops"].Result.P99; d < n {
+		t.Errorf("5%% drops improved p99: %d -> %d", n, d)
+	}
+	if st := byLevel["drops+partition"].Result.Stats; st.NetChaosCut == 0 {
+		t.Error("partition level cut no messages")
+	}
+	tbl := ChaosCapacityTable(points)
+	if len(tbl.Rows) != len(sc.Levels) {
+		t.Fatalf("%d table rows, want %d", len(tbl.Rows), len(sc.Levels))
+	}
+	text := tbl.String()
+	for _, needle := range []string{"drops+partition", "SP", "done%"} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("rendered chaos table missing %q:\n%s", needle, text)
+		}
+	}
+}

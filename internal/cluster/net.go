@@ -5,9 +5,19 @@
 // order is a total order on (deliver-at cycle, send sequence), so two runs
 // of one configuration drain the network identically, byte for byte, at
 // any sweep worker count.
+//
+// An optional chaos.Plan layers deterministic misbehaviour on top: each
+// message's fate (drop, duplicate, delay spike, reorder) is a pure function
+// of (plan seed, message sequence), partitions cut links for cycle windows,
+// and gray windows multiply link latency. The kind path (nil or inert plan)
+// is byte-identical to the pre-chaos fabric.
 package cluster
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"specpersist/internal/chaos"
+)
 
 // msgKind discriminates network payloads.
 type msgKind int
@@ -17,6 +27,7 @@ const (
 	msgAck                      // replica -> collector: durable apply of one request
 	msgFetch                    // recovering node -> primary: catch-up batch request
 	msgFetchResp                // primary -> recovering node: catch-up batch
+	msgHeartbeat                // liveness beat (failure-detection mode)
 )
 
 // message is one in-flight network packet.
@@ -30,7 +41,7 @@ type message struct {
 	item  item   // msgReplicate
 	reqID int    // msgAck
 	rid   int    // msgFetch, msgFetchResp
-	lo    uint64 // msgFetch: first sequence wanted
+	lo    uint64 // msgFetch, msgFetchResp: first sequence of the batch
 	n     int    // msgFetch: batch size requested
 	items []item // msgFetchResp
 }
@@ -54,13 +65,21 @@ type network struct {
 	seed   int64
 	rtt    uint64  // round trip in cycles; one-way = rtt/2 scaled by jitter
 	jitter float64 // [0, 1)
+	plan   *chaos.Plan
 	seq    uint64
 	q      msgHeap
 	sent   uint64
+
+	// Chaos accounting (all zero on the kind path).
+	chDropped   uint64 // lost to a per-message drop fate
+	chCut       uint64 // lost to an active partition window
+	chDupped    uint64 // extra copies injected by duplicate fates
+	chDelayed   uint64 // delay-spiked messages
+	chReordered uint64 // reorder-jittered messages
 }
 
-func newNetwork(seed int64, rtt uint64, jitter float64) *network {
-	return &network{seed: seed, rtt: rtt, jitter: jitter}
+func newNetwork(seed int64, rtt uint64, jitter float64, plan *chaos.Plan) *network {
+	return &network{seed: seed, rtt: rtt, jitter: jitter, plan: plan}
 }
 
 // oneWay computes the deterministic one-way latency of message seq.
@@ -75,13 +94,57 @@ func (n *network) oneWay(seq uint64) uint64 {
 	return uint64(d)
 }
 
-// send enqueues m for delivery at sentAt + one-way latency.
+// send enqueues m for delivery at sentAt + one-way latency, subjecting it
+// to the chaos plan's partition windows and per-message fates. A dropped or
+// cut message still consumes its sequence number, so the fate stream of the
+// surviving traffic is unperturbed by what was lost.
 func (n *network) send(m *message, sentAt uint64) {
 	m.seq = n.seq
 	n.seq++
-	m.at = sentAt + n.oneWay(m.seq)
-	heap.Push(&n.q, m)
 	n.sent++
+	if !n.plan.Enabled() {
+		m.at = sentAt + n.oneWay(m.seq)
+		heap.Push(&n.q, m)
+		return
+	}
+	if n.plan.Partitioned(m.from, m.to, sentAt) {
+		n.chCut++
+		return
+	}
+	lat := float64(n.oneWay(m.seq))
+	fate, extra := n.plan.Fate(m.seq)
+	switch fate {
+	case chaos.FateDrop:
+		n.chDropped++
+		return
+	case chaos.FateDelay:
+		lat *= n.plan.DelayMult
+		n.chDelayed++
+	case chaos.FateReorder:
+		// Up to one extra RTT of latency: enough to leapfrog later sends.
+		lat += extra * float64(n.rtt)
+		n.chReordered++
+	}
+	slow := n.plan.SlowFactor(m.from, m.to, sentAt)
+	m.at = sentAt + latCycles(lat*slow)
+	heap.Push(&n.q, m)
+	if fate == chaos.FateDup {
+		n.chDupped++
+		cp := *m
+		cp.seq = n.seq
+		n.seq++
+		// The copy takes its own jitter draw but no fate of its own.
+		cp.at = sentAt + latCycles(float64(n.oneWay(cp.seq))*slow)
+		heap.Push(&n.q, &cp)
+	}
+}
+
+// latCycles converts a chaos-scaled float latency to cycles, floor 1.
+func latCycles(d float64) uint64 {
+	if d < 1 {
+		return 1
+	}
+	return uint64(d)
 }
 
 // nextAt returns the earliest pending delivery cycle, or ok=false when the

@@ -1,0 +1,53 @@
+// pendingSet indexes in-flight requests by ID and iterates them in
+// ascending ID order without sorting. Request IDs are assigned in arrival
+// order, so every insert is an append to an already-sorted slice; removal
+// only deletes from the map, leaving a tombstone in the slice that the
+// next ordered walk compacts away. Crash-time iteration is O(live +
+// tombstones-since-last-walk) instead of the old O(n log n) full-map sort.
+package cluster
+
+type pendingSet struct {
+	m map[int]*pendingReq
+	// ids is ascending and may hold stale entries for removed requests;
+	// sortedIDs compacts them lazily.
+	ids []int
+}
+
+func newPendingSet() *pendingSet {
+	return &pendingSet{m: map[int]*pendingReq{}}
+}
+
+func (ps *pendingSet) len() int { return len(ps.m) }
+
+func (ps *pendingSet) get(id int) (*pendingReq, bool) {
+	p, ok := ps.m[id]
+	return p, ok
+}
+
+// put inserts a request. IDs must arrive in ascending order (guaranteed
+// by arrival sequencing); re-inserting a lower ID would break the ordered
+// walk, so it panics rather than silently corrupting determinism.
+func (ps *pendingSet) put(id int, p *pendingReq) {
+	if n := len(ps.ids); n > 0 && ps.ids[n-1] >= id {
+		panic("cluster: pendingSet requires strictly ascending request IDs")
+	}
+	ps.m[id] = p
+	ps.ids = append(ps.ids, id)
+}
+
+func (ps *pendingSet) del(id int) { delete(ps.m, id) }
+
+// sortedIDs returns the live request IDs ascending, compacting tombstones
+// in place. The returned slice is owned by the set: it is valid until the
+// next put, and callers may delete entries while walking it (the map is
+// the source of truth — stale IDs must be re-checked with get).
+func (ps *pendingSet) sortedIDs() []int {
+	live := ps.ids[:0]
+	for _, id := range ps.ids {
+		if _, ok := ps.m[id]; ok {
+			live = append(live, id)
+		}
+	}
+	ps.ids = live
+	return ps.ids
+}

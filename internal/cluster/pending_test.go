@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestPendingSetOrderedWalk: the lazy-compacting walk must match a
+// reference map-and-sort under interleaved inserts and deletes.
+func TestPendingSetOrderedWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := newPendingSet()
+	ref := map[int]*pendingReq{}
+	id := 0
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(3) > 0 || len(ref) == 0 {
+			id += 1 + rng.Intn(3) // ascending, possibly with gaps
+			p := &pendingReq{reqID: id}
+			ps.put(id, p)
+			ref[id] = p
+		} else {
+			ids := make([]int, 0, len(ref))
+			for k := range ref {
+				ids = append(ids, k)
+			}
+			victim := ids[rng.Intn(len(ids))]
+			ps.del(victim)
+			delete(ref, victim)
+		}
+		if step%100 != 0 {
+			continue
+		}
+		want := make([]int, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		got := ps.sortedIDs()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d live IDs, want %d", step, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: ids[%d] = %d, want %d", step, i, got[i], want[i])
+			}
+		}
+		if ps.len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, ps.len(), len(ref))
+		}
+	}
+}
+
+// TestPendingSetRejectsDescendingIDs: a lower ID would corrupt the walk.
+func TestPendingSetRejectsDescendingIDs(t *testing.T) {
+	ps := newPendingSet()
+	ps.put(5, &pendingReq{reqID: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order put did not panic")
+		}
+	}()
+	ps.put(4, &pendingReq{reqID: 4})
+}
+
+// benchPendingFill loads n live requests with ascending IDs plus ~n/4
+// tombstones, the shape a crash sees mid-run.
+func benchPendingFill(n int) *pendingSet {
+	ps := newPendingSet()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n+n/4; i++ {
+		ps.put(i, &pendingReq{reqID: i})
+		if rng.Intn(5) == 0 {
+			ps.del(i)
+		}
+	}
+	return ps
+}
+
+// BenchmarkPendingIDsOrdered: the ordered walk (this PR).
+func BenchmarkPendingIDsOrdered(b *testing.B) {
+	ps := benchPendingFill(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ps.sortedIDs()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkPendingIDsMapSort: the old implementation — collect every map
+// key and sort — kept as the baseline the ordered walk replaces.
+func BenchmarkPendingIDsMapSort(b *testing.B) {
+	ps := benchPendingFill(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := make([]int, 0, len(ps.m))
+		for id := range ps.m {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		if len(ids) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"specpersist/internal/chaos"
+	"specpersist/internal/core"
+)
+
+// chaosConfig is a small fleet under a hostile plan with the full client
+// robustness stack enabled.
+func chaosConfig(plan *chaos.Plan) Config {
+	cfg := DefaultChaosBase()
+	cfg.Chaos = plan
+	return cfg
+}
+
+// TestTimeoutAccounting: an impossibly tight deadline times every update
+// out, the books still balance, and nothing is falsely acknowledged.
+func TestTimeoutAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GetFrac = 0 // updates need a quorum over the network
+	cfg.Requests = 64
+	cfg.ReqDeadline = 2 // far below one network RTT
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.TimedOut == 0 {
+		t.Fatal("no request timed out under a 2-cycle deadline")
+	}
+	if r.Stats.Completed != 0 {
+		t.Fatalf("%d requests completed under a 2-cycle deadline", r.Stats.Completed)
+	}
+	sum := r.Stats.Completed + r.Stats.Dropped + r.Stats.Shed + r.Stats.TimedOut + r.Stats.Failed + r.Stats.Unavailable
+	if sum != r.Stats.Offered {
+		t.Fatalf("accounting broken: %d outcomes != %d offered", sum, r.Stats.Offered)
+	}
+}
+
+// TestChaosRunSurvivesAndIsDeterministic: a plan combining every fault
+// kind completes with zero invariant errors, most requests still finish
+// (retries + gap repair keep the fleet live), and two runs of the same
+// (Config, Plan) produce byte-identical results.
+func TestChaosRunSurvivesAndIsDeterministic(t *testing.T) {
+	plan := &chaos.Plan{
+		Seed: 11, Drop: 0.05, Dup: 0.05, Delay: 0.03, DelayMult: 8, Reorder: 0.1,
+		Partitions: []chaos.Partition{{From: 200_000, To: 400_000, Group: []int{2}}},
+		Grays:      []chaos.Gray{{From: 600_000, To: 800_000, Node: 0, Slow: 20}},
+	}
+	cfg := chaosConfig(plan)
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Retries == 0 {
+		t.Error("5% drops but zero retries fired")
+	}
+	if r1.Stats.DupDrops == 0 {
+		t.Error("5% duplication but zero gate-level dup drops")
+	}
+	if r1.Stats.NetChaosDropped == 0 || r1.Stats.NetChaosCut == 0 {
+		t.Errorf("fabric counters idle: dropped=%d cut=%d", r1.Stats.NetChaosDropped, r1.Stats.NetChaosCut)
+	}
+	if frac := float64(r1.Stats.Completed) / float64(r1.Stats.Offered); frac < 0.5 {
+		t.Errorf("only %.0f%% of requests completed under moderate chaos", 100*frac)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Fatal("two runs of one (Config, Plan) diverged")
+	}
+}
+
+// TestWrongSuspicionFailover: partitioning a healthy primary away from
+// its peers expires leases and moves primaryships — a wrong suspicion —
+// without violating any acknowledged durability.
+func TestWrongSuspicionFailover(t *testing.T) {
+	plan := &chaos.Plan{
+		// Long partition: node 0 cut off well past the lease.
+		Partitions: []chaos.Partition{{From: 100_000, To: 500_000, Group: []int{0}}},
+	}
+	cfg := chaosConfig(plan)
+	cfg.Requests = 300
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.WrongSuspicions == 0 {
+		t.Fatalf("healthy node partitioned for 25 leases, but no wrong suspicion (suspicions=%d failovers=%d)",
+			r.Stats.Suspicions, r.Stats.Failovers)
+	}
+}
+
+// TestDetectionModeCrashFailover: with heartbeat detection, a crash is
+// noticed only after lease expiry — failovers happen, requests complete
+// after the crash, and the quorum-durability check still passes.
+func TestDetectionModeCrashFailover(t *testing.T) {
+	cfg := chaosConfig(nil) // kind network: detection without message loss
+	cfg.Variant = core.VariantLogPSf
+	cfg.Requests = 300
+	cfg.CrashAt = 150_000
+	cfg.CrashNode = 1
+	cfg.RecoverAfter = 400_000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Suspicions == 0 || r.Stats.Failovers == 0 {
+		t.Fatalf("crash never detected: suspicions=%d failovers=%d", r.Stats.Suspicions, r.Stats.Failovers)
+	}
+	if r.Stats.Rejoins != 1 {
+		t.Fatalf("crashed node rejoined %d times, want 1", r.Stats.Rejoins)
+	}
+	if r.Stats.TimedOut == 0 {
+		t.Error("requests stranded at the crashed collector should have timed out")
+	}
+}
+
+// TestShedHighWater: a high-water mark below the queue cap sheds load
+// before the hard drop fires.
+func TestShedHighWater(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rate = 2000 // far past capacity
+	cfg.Requests = 400
+	cfg.ShedHighWater = 8
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Shed == 0 {
+		t.Fatal("overloaded fleet shed nothing at the high-water mark")
+	}
+	if r.Stats.Dropped != 0 {
+		t.Errorf("%d hard drops despite the high-water mark shedding first", r.Stats.Dropped)
+	}
+}

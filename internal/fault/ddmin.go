@@ -1,0 +1,45 @@
+package fault
+
+// DDMinList greedily delta-minimizes a list against a failure predicate
+// (the chunk-removal core of ddmin): chunks of halving sizes — halves,
+// quarters, down to single elements — are removed whenever the shortened
+// list still fails. The result is 1-minimal with respect to single
+// removals when the budget allows. fails must be a pure function of its
+// argument and must not retain or mutate the slice it is handed. budget
+// bounds predicate calls (<= 0 means DefaultShrinkBudget); the number of
+// calls spent is returned alongside the minimized list.
+//
+// Both the memory-crash shrinker (fate lists) and the cluster chaos
+// shrinker (partition and gray windows) minimize through this function.
+func DDMinList[T any](list []T, fails func([]T) bool, budget int) ([]T, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	calls := 0
+	try := func(cand []T) bool {
+		if calls >= budget {
+			return false
+		}
+		calls++
+		return fails(cand)
+	}
+	cur := append([]T(nil), list...)
+	for size := (len(cur) + 1) / 2; size >= 1; size /= 2 {
+		for start := 0; start < len(cur); {
+			end := start + size
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]T, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if try(cand) {
+				cur = cand
+				// Re-test the same start index against the shorter list.
+			} else {
+				start = end
+			}
+		}
+	}
+	return cur, calls
+}

@@ -92,32 +92,21 @@ func (e *Engine) ShrinkPlan(p Plan) (Plan, Outcome, int) {
 }
 
 // shrinkFates delta-minimizes one fate list in place: first removing
-// contiguous chunks (halving granularity), then single entries, then
-// simplifying torn masks to FullMask. fates must point into plan. Reports
+// contiguous chunks through the shared DDMinList core, then simplifying
+// surviving torn masks to FullMask. fates must point into plan. Reports
 // whether anything was removed or simplified.
 func shrinkFates(fates *[]LineFate, plan *Plan, fails func(Plan) bool) bool {
 	improved := false
-	// Chunked removal: try dropping halves, quarters, ... down to single
-	// entries (classic ddmin shape, greedy variant).
-	for size := (len(*fates) + 1) / 2; size >= 1; size /= 2 {
-		for start := 0; start < len(*fates); {
-			end := start + size
-			if end > len(*fates) {
-				end = len(*fates)
-			}
-			candidate := make([]LineFate, 0, len(*fates)-(end-start))
-			candidate = append(candidate, (*fates)[:start]...)
-			candidate = append(candidate, (*fates)[end:]...)
-			q := *plan
-			*fatesFieldOf(&q, fates, plan) = candidate
-			if fails(q) {
-				*fates = candidate
-				improved = true
-				// Re-test the same start index against the shorter list.
-			} else {
-				start = end
-			}
-		}
+	// Chunked removal (fails carries the replay budget, so DDMinList's own
+	// cap can stay wide open).
+	minimized, _ := DDMinList(*fates, func(cand []LineFate) bool {
+		q := *plan
+		*fatesFieldOf(&q, fates, plan) = cand
+		return fails(q)
+	}, 1<<30)
+	if len(minimized) < len(*fates) {
+		*fates = minimized
+		improved = true
 	}
 	// Mask simplification: a torn line that can persist whole is a simpler
 	// reproducer (the tear was incidental).

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Measure the single-core simulator hot loop and append the result to
-# BENCH_core.json, the checked-in perf trajectory. Run from anywhere:
+# Measure the simulator hot loops and append the results to
+# BENCH_core.json, the checked-in perf trajectory: the single-core
+# instruction rate and the replicated-fleet request rate (chaos fabric
+# compiled in, disabled — the chaos-off overhead guard). Run from
+# anywhere:
 #
 #   scripts/bench_core.sh              # 3 iterations (default)
 #   BENCHTIME=10x scripts/bench_core.sh
 #
-# CI runs this with BENCHTIME=1x as a smoke and as a perf gate: the
-# benchmark must produce a parseable sim-instrs/s figure, the trajectory
-# file must stay valid, and the fresh entry must not fall more than 20%
-# below its predecessor (benchtrend -check fails the build otherwise).
+# CI runs this with BENCHTIME=1x as a smoke and as a perf gate: each
+# benchmark must produce a parseable rate figure, the trajectory file must
+# stay valid, and no fresh entry may fall more than 20% below its
+# predecessor (benchtrend -check fails the build otherwise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,4 +23,10 @@ out=$(go test -run '^$' -bench '^BenchmarkCoreInstrRate$' -benchtime "$benchtime
 printf '%s\n' "$out" >&2
 printf '%s\n' "$out" |
   go run ./cmd/benchtrend -file BENCH_core.json -commit "$commit" -date "$date"
+
+out=$(go test -run '^$' -bench '^BenchmarkClusterFleet$' -benchtime "$benchtime" .)
+printf '%s\n' "$out" >&2
+printf '%s\n' "$out" |
+  go run ./cmd/benchtrend -file BENCH_core.json -metric sim-reqs/s -commit "$commit" -date "$date"
+
 go run ./cmd/benchtrend -file BENCH_core.json -check
