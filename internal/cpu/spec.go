@@ -269,6 +269,15 @@ func (c *CPU) CoherenceProbe(addr uint64) bool {
 	return c.Probe(addr) == ProbeRollback
 }
 
+// Draining reports whether the oldest speculative epoch has begun
+// committing its SSB entries — the window in which a conflicting probe is
+// NACKed (ProbeDeferred) instead of rolling the core back. Harnesses that
+// want to exercise the NACK path deliberately (internal/multicore's probe
+// injector, the litmus campaigns) key their probes off this.
+func (c *CPU) Draining() bool {
+	return len(c.epochs) > 0 && c.epochs[0].draining
+}
+
 // rollback squashes all speculative state and restarts execution at the
 // oldest checkpoint.
 func (c *CPU) rollback() {

@@ -1,0 +1,375 @@
+// Package litmus is the persistency litmus-test harness: small concurrent
+// persist programs whose complete crash-visible outcome sets are computed
+// twice — once by a standalone executable reference semantics (a tiny
+// Px86-with-persist-buffers interpreter, independent of internal/cpu),
+// and once from the real timing simulator via internal/multicore — and
+// compared. Every outcome the machine can exhibit must be allowed by the
+// reference, and the SP machine's outcome set must be byte-equal to the
+// plain machine's (speculation invisible), including under forced
+// coherence-probe rollbacks and NACK windows mid-speculation.
+//
+// A program is 1–4 threads of straight-line persist ops (mixed-size
+// stores, clwb/clflushopt, sfence, pcommit, loads) over named locations
+// packed into at most 4 cache lines. Outcomes are crash-visible durable
+// images of those locations, canonicalized as sorted "name=value" strings,
+// at 8-byte NVM write atomicity (a location spanning two chunks can land
+// torn).
+package litmus
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"specpersist/internal/mem"
+)
+
+// Program size caps. They bound the reference interpreter's state space
+// (and the machine explorer's), so Validate enforces them hard.
+const (
+	MaxThreads      = 4
+	MaxOpsPerThread = 12
+	MaxLocs         = 6
+	MaxLines        = 4
+	maxChunks       = 8 // distinct footprint (line, 8-byte chunk) pairs
+)
+
+// Op kinds. Loads and nops exist to exercise the pipeline (dependencies,
+// retirement slots) without touching persistence state.
+const (
+	OpStore      = "st"
+	OpClwb       = "clwb"
+	OpClflushOpt = "clflushopt"
+	OpSfence     = "sfence"
+	OpPcommit    = "pcommit"
+	OpLoad       = "ld"
+	OpNop        = "nop"
+)
+
+// Loc is a named memory location: Size bytes at byte Off of cache line
+// Line. Locations may overlap and may straddle an 8-byte chunk boundary
+// (mixed-size torn-store coverage), but never a line boundary.
+type Loc struct {
+	Name string `json:"name"`
+	Line int    `json:"line"`
+	Off  int    `json:"off"`
+	Size int    `json:"size"`
+}
+
+// Op is one straight-line instruction of a thread. Loc names the target
+// location for st/clwb/clflushopt/ld (flushes flush the whole containing
+// line); Val is the stored value for st (little-endian, truncated to the
+// location's size).
+type Op struct {
+	Kind string `json:"op"`
+	Loc  string `json:"loc,omitempty"`
+	Val  uint64 `json:"val,omitempty"`
+}
+
+// Program is one litmus test: concurrent threads over shared locations.
+// All memory starts zeroed.
+type Program struct {
+	Name    string `json:"name"`
+	Locs    []Loc  `json:"locs"`
+	Threads [][]Op `json:"threads"`
+}
+
+// Clone deep-copies the program (shrinking mutates candidates freely).
+func (p Program) Clone() Program {
+	q := p
+	q.Locs = append([]Loc(nil), p.Locs...)
+	q.Threads = make([][]Op, len(p.Threads))
+	for i, th := range p.Threads {
+		q.Threads[i] = append([]Op(nil), th...)
+	}
+	return q
+}
+
+// Validate checks the program against the harness caps and returns a
+// descriptive error for the first problem found.
+func (p *Program) Validate() error {
+	if len(p.Threads) < 1 || len(p.Threads) > MaxThreads {
+		return fmt.Errorf("litmus: program needs 1..%d threads, got %d", MaxThreads, len(p.Threads))
+	}
+	if len(p.Locs) < 1 || len(p.Locs) > MaxLocs {
+		return fmt.Errorf("litmus: program needs 1..%d locations, got %d", MaxLocs, len(p.Locs))
+	}
+	names := make(map[string]bool, len(p.Locs))
+	chunks := make(map[[2]int]bool)
+	for _, l := range p.Locs {
+		if l.Name == "" {
+			return fmt.Errorf("litmus: location with empty name")
+		}
+		if names[l.Name] {
+			return fmt.Errorf("litmus: duplicate location name %q", l.Name)
+		}
+		names[l.Name] = true
+		if l.Line < 0 || l.Line >= MaxLines {
+			return fmt.Errorf("litmus: location %q line %d out of range [0,%d)", l.Name, l.Line, MaxLines)
+		}
+		if l.Size < 1 || l.Size > 8 {
+			return fmt.Errorf("litmus: location %q size %d out of range [1,8]", l.Name, l.Size)
+		}
+		if l.Off < 0 || l.Off+l.Size > mem.LineSize {
+			return fmt.Errorf("litmus: location %q bytes [%d,%d) outside its line", l.Name, l.Off, l.Off+l.Size)
+		}
+		for b := 0; b < l.Size; b++ {
+			chunks[[2]int{l.Line, (l.Off + b) / 8}] = true
+		}
+	}
+	if len(chunks) > maxChunks {
+		return fmt.Errorf("litmus: footprint spans %d 8-byte chunks, cap is %d", len(chunks), maxChunks)
+	}
+	for t, th := range p.Threads {
+		if len(th) > MaxOpsPerThread {
+			return fmt.Errorf("litmus: thread %d has %d ops, cap is %d", t, len(th), MaxOpsPerThread)
+		}
+		for k, op := range th {
+			switch op.Kind {
+			case OpStore, OpClwb, OpClflushOpt, OpLoad:
+				if !names[op.Loc] {
+					return fmt.Errorf("litmus: thread %d op %d (%s) names unknown location %q", t, k, op.Kind, op.Loc)
+				}
+			case OpSfence, OpPcommit, OpNop:
+				if op.Loc != "" {
+					return fmt.Errorf("litmus: thread %d op %d (%s) must not name a location", t, k, op.Kind)
+				}
+			default:
+				return fmt.Errorf("litmus: thread %d op %d has unknown kind %q", t, k, op.Kind)
+			}
+			if op.Kind != OpStore && op.Val != 0 {
+				return fmt.Errorf("litmus: thread %d op %d (%s) carries a value", t, k, op.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the program compactly for reports and test names.
+func (p *Program) String() string {
+	blob, _ := json.Marshal(p)
+	return string(blob)
+}
+
+// chunkRef identifies one 8-byte atomic write unit of the footprint.
+type chunkRef struct{ line, idx int }
+
+// plan is a validated program compiled for the explorers: dense line and
+// chunk indices, resolved locations, simulator addresses.
+type plan struct {
+	p        *Program
+	locIdx   map[string]int
+	lines    []int       // distinct line numbers used, ascending
+	lineIdx  map[int]int // line number -> dense index
+	chunks   []chunkRef  // footprint chunks, sorted (line, idx)
+	chunkIdx map[chunkRef]int
+	byName   []int // loc indices sorted by name (outcome order)
+}
+
+// compile validates and indexes the program.
+func compile(p *Program) (*plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &plan{
+		p:        p,
+		locIdx:   make(map[string]int, len(p.Locs)),
+		lineIdx:  make(map[int]int),
+		chunkIdx: make(map[chunkRef]int),
+	}
+	for i, l := range p.Locs {
+		pl.locIdx[l.Name] = i
+		if _, ok := pl.lineIdx[l.Line]; !ok {
+			pl.lineIdx[l.Line] = 0 // assigned after sorting
+			pl.lines = append(pl.lines, l.Line)
+		}
+	}
+	sort.Ints(pl.lines)
+	for i, line := range pl.lines {
+		pl.lineIdx[line] = i
+	}
+	for _, l := range p.Locs {
+		for b := 0; b < l.Size; b++ {
+			c := chunkRef{line: l.Line, idx: (l.Off + b) / 8}
+			if _, ok := pl.chunkIdx[c]; !ok {
+				pl.chunkIdx[c] = 0
+				pl.chunks = append(pl.chunks, c)
+			}
+		}
+	}
+	sort.Slice(pl.chunks, func(i, j int) bool {
+		a, b := pl.chunks[i], pl.chunks[j]
+		return a.line < b.line || (a.line == b.line && a.idx < b.idx)
+	})
+	for i, c := range pl.chunks {
+		pl.chunkIdx[c] = i
+	}
+	pl.byName = make([]int, len(p.Locs))
+	for i := range pl.byName {
+		pl.byName[i] = i
+	}
+	sort.Slice(pl.byName, func(i, j int) bool {
+		return p.Locs[pl.byName[i]].Name < p.Locs[pl.byName[j]].Name
+	})
+	return pl, nil
+}
+
+// addr returns the simulator address of a location.
+func (pl *plan) addr(l Loc) uint64 {
+	return mem.DefaultBase + uint64(l.Line)*mem.LineSize + uint64(l.Off)
+}
+
+// lineOf maps a simulator address back to a dense line index, or -1 for an
+// address outside the program's footprint.
+func (pl *plan) lineOf(a uint64) int {
+	off := int(a - mem.DefaultBase)
+	if off < 0 || off >= MaxLines*mem.LineSize {
+		return -1
+	}
+	if li, ok := pl.lineIdx[off/mem.LineSize]; ok {
+		return li
+	}
+	return -1
+}
+
+// chunk is one 8-byte atomic NVM write unit.
+type chunk [8]byte
+
+// memState is the persistence state of the program footprint, shared by
+// the reference interpreter and the machine-stream explorer. It mirrors
+// internal/pmem at chunk granularity: the volatile view (caches + store
+// buffers), the controller WPQ (one line snapshot, taken at flush time),
+// and the durable image. Masks are per dense line index. The struct is
+// comparable, so explorers memoize on it directly.
+type memState struct {
+	vol, dur, wpq [maxChunks]chunk
+	wpqMask       uint8 // line has a snapshot pending in the WPQ
+	dirty         uint8 // line written since its last flush
+}
+
+// storeLoc applies a store to the volatile view and dirties the line.
+func (pl *plan) storeLoc(st *memState, li int, val uint64) {
+	l := pl.p.Locs[li]
+	for b := 0; b < l.Size; b++ {
+		ci := pl.chunkIdx[chunkRef{line: l.Line, idx: (l.Off + b) / 8}]
+		st.vol[ci][(l.Off+b)%8] = byte(val >> (8 * b))
+	}
+	st.dirty |= 1 << pl.lineIdx[l.Line]
+}
+
+// flushLine snapshots a dirty line into the WPQ (pmem.Clwb semantics: a
+// clean line is a no-op and leaves any older snapshot undisturbed).
+func (pl *plan) flushLine(st *memState, li int) {
+	bit := uint8(1) << li
+	if st.dirty&bit == 0 {
+		return
+	}
+	line := pl.lines[li]
+	for ci, c := range pl.chunks {
+		if c.line == line {
+			st.wpq[ci] = st.vol[ci]
+		}
+	}
+	st.wpqMask |= bit
+	st.dirty &^= bit
+}
+
+// drainWPQ makes every pending line snapshot durable (pcommit).
+func (pl *plan) drainWPQ(st *memState) {
+	if st.wpqMask == 0 {
+		return
+	}
+	for ci, c := range pl.chunks {
+		if st.wpqMask&(1<<pl.lineIdx[c.line]) != 0 {
+			st.dur[ci] = st.wpq[ci]
+		}
+	}
+	st.wpqMask = 0
+}
+
+// readLoc extracts a location's little-endian value from a chunk image.
+func (pl *plan) readLoc(img *[maxChunks]chunk, li int) uint64 {
+	l := pl.p.Locs[li]
+	var v uint64
+	for b := 0; b < l.Size; b++ {
+		ci := pl.chunkIdx[chunkRef{line: l.Line, idx: (l.Off + b) / 8}]
+		v |= uint64(img[ci][(l.Off+b)%8]) << (8 * b)
+	}
+	return v
+}
+
+// outcome renders a chunk image as the canonical outcome string: locations
+// in name order, "name=value", space-separated.
+func (pl *plan) outcome(img *[maxChunks]chunk) string {
+	buf := make([]byte, 0, 16*len(pl.byName))
+	for i, li := range pl.byName {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, pl.p.Locs[li].Name...)
+		buf = append(buf, '=')
+		buf = fmt.Appendf(buf, "%d", pl.readLoc(img, li))
+	}
+	return string(buf)
+}
+
+// crashOutcomes enumerates every durable image a crash at this state can
+// leave and adds each outcome to set. Per chunk, a crash independently
+// keeps the durable content, drains the line's WPQ snapshot (if any), or
+// persists the dirty line's volatile content via a spontaneous eviction —
+// the same fate space internal/fault enumerates, at the paper's 8-byte
+// write atomicity, so a location spanning two chunks can land torn.
+func (pl *plan) crashOutcomes(st *memState, set map[string]struct{}) {
+	var opts [maxChunks][3]chunk
+	var nOpts [maxChunks]int
+	n := len(pl.chunks)
+	for ci, c := range pl.chunks {
+		bit := uint8(1) << pl.lineIdx[c.line]
+		opts[ci][0] = st.dur[ci]
+		nOpts[ci] = 1
+		if st.wpqMask&bit != 0 && st.wpq[ci] != st.dur[ci] {
+			opts[ci][nOpts[ci]] = st.wpq[ci]
+			nOpts[ci]++
+		}
+		if st.dirty&bit != 0 {
+			v := st.vol[ci]
+			dup := false
+			for k := 0; k < nOpts[ci]; k++ {
+				if opts[ci][k] == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				opts[ci][nOpts[ci]] = v
+				nOpts[ci]++
+			}
+		}
+	}
+	var img [maxChunks]chunk
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == n {
+			set[outcomeKey(pl, &img)] = struct{}{}
+			return
+		}
+		for k := 0; k < nOpts[ci]; k++ {
+			img[ci] = opts[ci][k]
+			rec(ci + 1)
+		}
+	}
+	rec(0)
+}
+
+// outcomeKey is pl.outcome; split out so crashOutcomes reads clearly.
+func outcomeKey(pl *plan, img *[maxChunks]chunk) string { return pl.outcome(img) }
+
+// sortedOutcomes flattens an outcome set into its canonical sorted list.
+func sortedOutcomes(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

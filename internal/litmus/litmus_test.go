@@ -1,0 +1,84 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	good := Curated()[0]
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+		want   string
+	}{
+		{"no-threads", func(p *Program) { p.Threads = nil }, "thread"},
+		{"too-many-threads", func(p *Program) {
+			for len(p.Threads) <= MaxThreads {
+				p.Threads = append(p.Threads, []Op{{Kind: OpNop}})
+			}
+		}, "threads"},
+		{"unknown-loc", func(p *Program) { p.Threads[0][0].Loc = "nope" }, "unknown location"},
+		{"dup-loc", func(p *Program) { p.Locs = append(p.Locs, p.Locs[0]) }, "duplicate"},
+		{"line-cross", func(p *Program) {
+			p.Locs = append(p.Locs, Loc{Name: "lc", Line: 2, Off: 60, Size: 8})
+		}, "outside"},
+		{"bad-size", func(p *Program) {
+			p.Locs = append(p.Locs, Loc{Name: "bs", Line: 2, Off: 0, Size: 9})
+		}, "size"},
+		{"flush-no-loc", func(p *Program) { p.Threads[0][1].Loc = "" }, "location"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good.Clone()
+			tc.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCuratedValidates(t *testing.T) {
+	for _, p := range Curated() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Generate(seed)
+		b := Generate(seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: Generate not deterministic:\n%s\nvs\n%s", seed, a.String(), b.String())
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated program invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestTrialSeedSpreads(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := TrialSeed(42, i)
+		if seen[s] {
+			t.Fatalf("TrialSeed collision at trial %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFromBytesShortInput(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		if _, ok := FromBytes(make([]byte, n)); ok {
+			t.Fatalf("FromBytes accepted %d bytes", n)
+		}
+	}
+}

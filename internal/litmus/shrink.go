@@ -1,0 +1,158 @@
+package litmus
+
+import "specpersist/internal/fault"
+
+// flatOp is one (thread, op) pair of a flattened program, the unit the
+// ddmin shrinker removes.
+type flatOp struct {
+	t  int
+	op Op
+}
+
+// rebuild reassembles a program from a surviving op subset, dropping
+// locations no remaining op references (keeping at least one so the
+// program stays valid and has an outcome domain).
+func rebuild(base Program, ops []flatOp) Program {
+	p := base.Clone()
+	for t := range p.Threads {
+		p.Threads[t] = p.Threads[t][:0]
+	}
+	for _, f := range ops {
+		p.Threads[f.t] = append(p.Threads[f.t], f.op)
+	}
+	used := make(map[string]bool)
+	for _, th := range p.Threads {
+		for _, op := range th {
+			if op.Loc != "" {
+				used[op.Loc] = true
+			}
+		}
+	}
+	var locs []Loc
+	for _, l := range base.Locs {
+		if used[l.Name] {
+			locs = append(locs, l)
+		}
+	}
+	if len(locs) == 0 {
+		locs = base.Locs[:1]
+	}
+	p.Locs = locs
+	return p
+}
+
+// Shrink delta-minimizes a violating program against fails (which must be
+// a pure function: "does this candidate still violate?"), removing ops
+// across all threads via fault.DDMinList. Returns the 1-minimal program
+// and the number of predicate calls spent. budget <= 0 uses the fault
+// package default.
+func Shrink(p Program, fails func(Program) bool, budget int) (Program, int) {
+	var flat []flatOp
+	for t, th := range p.Threads {
+		for _, op := range th {
+			flat = append(flat, flatOp{t: t, op: op})
+		}
+	}
+	min, calls := fault.DDMinList(flat, func(cand []flatOp) bool {
+		return fails(rebuild(p, cand))
+	}, budget)
+	return rebuild(p, min), calls
+}
+
+// Reproducer is a minimal, replayable violation: the shrunk program, the
+// violation it exhibits, and how to re-check it. Written as JSON by the
+// campaign runner and fed back through cmd/litmus -replay.
+type Reproducer struct {
+	Program  Program `json:"program"`
+	Kind     string  `json:"kind"`
+	Mode     string  `json:"mode,omitempty"`
+	Outcome  string  `json:"outcome,omitempty"`
+	Weakened bool    `json:"weakened,omitempty"`
+}
+
+// Replays re-checks a reproducer and reports whether its violation still
+// occurs (plus the violations found, for reporting).
+func (r *Reproducer) Replay(maxStates int) (bool, []Violation, error) {
+	if r.Kind == KindAllowsForbidden || r.Kind == KindGoldenMismatch {
+		// A weakened-reference violation: the witness outcome must be
+		// allowed by the weakened semantics and forbidden by the strict
+		// one — self-contained, no golden file needed after shrinking.
+		weak, _, err := Weakened().Enumerate(&r.Program, maxStates)
+		if err != nil {
+			return false, nil, err
+		}
+		strict, _, err := Strict().Enumerate(&r.Program, maxStates)
+		if err != nil {
+			return false, nil, err
+		}
+		_, inWeak := weak[r.Outcome]
+		_, inStrict := strict[r.Outcome]
+		if inWeak && !inStrict {
+			return true, []Violation{{Kind: r.Kind, Outcome: r.Outcome,
+				Detail: "weakened reference allows this outcome, strict forbids it"}}, nil
+		}
+		return false, nil, nil
+	}
+	res, err := Check(r.Program, Config{MaxStates: maxStates})
+	if err != nil {
+		return false, nil, err
+	}
+	for _, v := range res.Violations {
+		if v.Kind == r.Kind {
+			return true, res.Violations, nil
+		}
+	}
+	return false, res.Violations, nil
+}
+
+// ShrinkViolation minimizes the program behind a violation, preserving
+// its kind. Machine violations re-run Check on every candidate; weakened-
+// reference violations use the self-contained weak-vs-strict predicate
+// and record the first witness outcome of the minimized program.
+func ShrinkViolation(p Program, v Violation, weakened bool, budget, maxStates int) (Reproducer, int) {
+	rep := Reproducer{Program: p, Kind: v.Kind, Mode: v.Mode, Outcome: v.Outcome, Weakened: weakened}
+	var fails func(Program) bool
+	if v.Kind == KindAllowsForbidden || v.Kind == KindGoldenMismatch {
+		fails = func(cand Program) bool {
+			return firstWeakOnly(cand, maxStates) != ""
+		}
+	} else {
+		fails = func(cand Program) bool {
+			res, err := Check(cand, Config{Weaken: weakened, MaxStates: maxStates})
+			if err != nil {
+				return false
+			}
+			for _, cv := range res.Violations {
+				if cv.Kind == v.Kind {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	min, calls := Shrink(p, fails, budget)
+	rep.Program = min
+	if v.Kind == KindAllowsForbidden || v.Kind == KindGoldenMismatch {
+		rep.Outcome = firstWeakOnly(min, maxStates)
+	}
+	return rep, calls
+}
+
+// firstWeakOnly returns the lexicographically first outcome the weakened
+// reference allows and the strict one forbids, or "" if none.
+func firstWeakOnly(p Program, maxStates int) string {
+	weak, _, err := Weakened().Enumerate(&p, maxStates)
+	if err != nil {
+		return ""
+	}
+	strict, _, err := Strict().Enumerate(&p, maxStates)
+	if err != nil {
+		return ""
+	}
+	for _, o := range sortedOutcomes(weak) {
+		if _, ok := strict[o]; !ok {
+			return o
+		}
+	}
+	return ""
+}

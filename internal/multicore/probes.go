@@ -1,0 +1,60 @@
+package multicore
+
+import "specpersist/internal/cpu"
+
+// ProbePlan arms a synthetic coherence-probe campaign against one core,
+// for harnesses that want to force the §4.2.2 rollback or the
+// NACK-while-committing path at a deterministic point instead of waiting
+// for another core's stores to collide (the litmus campaigns drive both).
+type ProbePlan struct {
+	// Core is the victim core index.
+	Core int
+	// Lines are the candidate probe addresses, tried in order each cycle
+	// until one hits the victim's BLT.
+	Lines []uint64
+	// WaitDrain withholds probes until the victim's oldest epoch is
+	// mid-commit, so the first conflicting probe lands in the NACK window
+	// (cpu.ProbeDeferred) and is retried every cycle until the epoch
+	// either finishes draining (a later probe rolls a younger epoch back)
+	// or speculation exits entirely.
+	WaitDrain bool
+}
+
+// ProbeStats counts what an injected probe campaign actually achieved.
+// Zero rollbacks is not an error: a program whose speculation windows
+// never overlap the probe condition simply offers nothing to abort.
+type ProbeStats struct {
+	Rollbacks int // forced rollbacks (at most 1; the campaign then disarms)
+	Deferred  int // probe deliveries NACKed in the drain window
+}
+
+// InjectProbes installs the campaign on the victim core's cycle hook and
+// returns the live stats, which are complete once Run returns. The
+// campaign disarms after the first forced rollback: re-execution enters
+// the same speculation window again, and an always-armed probe would
+// abort it forever.
+func (s *Sim) InjectProbes(p ProbePlan) *ProbeStats {
+	st := &ProbeStats{}
+	victim := s.cores[p.Core].cpu
+	done := false
+	victim.OnCycle(func(c *cpu.CPU) {
+		if done || !c.Speculating() {
+			return
+		}
+		if p.WaitDrain && !c.Draining() {
+			return
+		}
+		for _, line := range p.Lines {
+			switch c.Probe(line) {
+			case cpu.ProbeRollback:
+				st.Rollbacks++
+				done = true
+				return
+			case cpu.ProbeDeferred:
+				st.Deferred++
+				return
+			}
+		}
+	})
+	return st
+}
