@@ -15,8 +15,10 @@ import (
 
 	"specpersist/internal/cluster"
 	"specpersist/internal/core"
+	"specpersist/internal/exec"
 	"specpersist/internal/report"
 	"specpersist/internal/sp"
+	"specpersist/internal/vstore"
 	"specpersist/internal/workload"
 )
 
@@ -276,5 +278,42 @@ func BenchmarkClusterFleet(b *testing.B) {
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(offered)/secs, "sim-reqs/s")
+	}
+}
+
+// BenchmarkVstoreCommit measures the versioned COW store's changeset-commit
+// hot path: groups of toggles over a bounded keyspace, each group sealed by
+// one two-barrier Commit, as commits per wall-clock second.
+// scripts/bench_core.sh appends the metric to BENCH_core.json, so COW
+// shadowing or manifest bookkeeping creeping into the commit path fails
+// the benchtrend regression gate.
+func BenchmarkVstoreCommit(b *testing.B) {
+	// Each iteration is a batch of commits so even -benchtime 1x (the CI
+	// smoke) measures a steady-state sample large enough for the 20%
+	// regression gate.
+	const groupOps, groups = 8, 64
+	env := exec.New()
+	s := vstore.New(env, vstore.Config{Versions: 1 << 22})
+	key := func(n int) uint64 { return (uint64(n) * 2654435761) % 4096 }
+	for j := 0; j < 4096; j += 2 {
+		s.Toggle(uint64(j))
+	}
+	s.Commit()
+	n := 0
+	var commits uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < groups; g++ {
+			for j := 0; j < groupOps; j++ {
+				s.Toggle(key(n))
+				n++
+			}
+			s.Commit()
+			commits++
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(commits)/secs, "sim-commits/s")
 	}
 }

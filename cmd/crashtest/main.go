@@ -37,6 +37,7 @@ var aliases = map[string]string{
 	"at": "AT", "avl": "AT",
 	"bt": "BT", "btree": "BT",
 	"rt": "RT", "rbtree": "RT",
+	"vt": "VT", "vstore": "VT", "vtree": "VT",
 }
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 		spdiff      = flag.Bool("spdiff", false, "run the SP rollback differential instead of a crash campaign")
 		probeMode   = flag.String("probe", "forced", "spdiff probe source: forced (harness-injected) or real (2-core adversary via internal/multicore)")
 		expectViol  = flag.Bool("expect-violations", false, "negative control: exit nonzero unless violations are found")
+		unsafeFlip  = flag.Bool("vstore-unsafe-flip", false, "negative control for structure VT: commit flips the root selector before the changeset flush behind one shared barrier")
 	)
 	flag.Parse()
 
@@ -95,13 +97,14 @@ func main() {
 	eng.Register(reg)
 
 	rep, err := eng.Run(fault.Campaign{
-		Structures: structures,
-		Variant:    v,
-		Seed:       *seed,
-		Warmup:     *warmup,
-		Ops:        *ops,
-		Exhaustive: *exhaustive,
-		Trials:     *trials,
+		Structures:       structures,
+		Variant:          v,
+		Seed:             *seed,
+		Warmup:           *warmup,
+		Ops:              *ops,
+		Exhaustive:       *exhaustive,
+		Trials:           *trials,
+		VstoreUnsafeFlip: *unsafeFlip,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -130,7 +133,7 @@ func parseStructures(csv string) ([]string, error) {
 		return nil, nil // engine defaults to pstruct.Names()
 	}
 	known := make(map[string]bool)
-	for _, n := range pstruct.Names() {
+	for _, n := range pstruct.AllNames() {
 		known[n] = true
 	}
 	var out []string
@@ -145,7 +148,7 @@ func parseStructures(csv string) ([]string, error) {
 			name = strings.ToUpper(name)
 		}
 		if !known[name] {
-			return nil, fmt.Errorf("unknown structure %q (have %s)", tok, strings.Join(pstruct.Names(), ","))
+			return nil, fmt.Errorf("unknown structure %q (have %s)", tok, strings.Join(pstruct.AllNames(), ","))
 		}
 		out = append(out, name)
 	}

@@ -51,6 +51,7 @@ func main() {
 		stalls    = flag.Bool("stalls", false, "print per-benchmark stall attribution (Log+P+Sf and SP)")
 		conflicts = flag.Bool("conflicts", false, "print the multi-core conflict-sensitivity table (real BLT probes)")
 		latency   = flag.Bool("latency", false, "print the storage-server throughput-latency sweep (open-loop arrivals, group commit)")
+		vstoreF   = flag.Bool("vstore", false, "print the per-op-WAL vs changeset-commit comparison (versioned COW store)")
 		clusterF  = flag.Bool("cluster", false, "print the replicated-fleet figures (quorum capacity, RTT sensitivity, replica rejoin)")
 		chaosF    = flag.Bool("chaos", false, "print the chaos-capacity figure (tail latency and completion under drops and partitions)")
 	)
@@ -164,6 +165,17 @@ func main() {
 			midRate := sc.Rates[len(sc.Rates)/2]
 			fmt.Println(service.LatencyCDFChart(points, midRate, sc.Batches[0], sc.Cores[0]).String())
 		}
+	}
+	if *vstoreF {
+		sc := service.DefaultVstoreSweepConfig()
+		sc.Base.Seed = *seed
+		sc.Workers = *jobs
+		points, err := service.VstoreSweep(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("vstore", func() *report.Table { return service.VstoreTable(points) })
+		emit("vstore-slo", func() *report.Table { return service.VstoreCapacityTable(points) })
 	}
 	if *chaosF {
 		sc := cluster.DefaultChaosSweepConfig()

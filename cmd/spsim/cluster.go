@@ -81,7 +81,7 @@ var chaosFateFlags = []string{
 var incompatibleWithCluster = []string{
 	"scale", "checkpoints",
 	"mc-frac", "mc-shared-lines", "mc-ops", "mc-warmup", "mc-disjoint", "expect-rollbacks",
-	"service", "cores", "process", "burst-frac", "burst-period",
+	"service", "vstore", "cores", "process", "burst-frac", "burst-period",
 }
 
 // buildClusterConfig validates the flag values and assembles the fleet

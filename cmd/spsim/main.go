@@ -8,6 +8,7 @@
 //	spsim -bench BT -variant SP -timeline out.json  # Chrome trace
 //	spsim -cores 4 -bench HM -mc-frac 1.0  # multi-core conflict engine
 //	spsim -service -rate 300 -batch 8      # storage-server simulation
+//	spsim -vstore -rate 300 -batch 8       # versioned COW store serving
 //	spsim -cluster -replicas 3 -rate 200   # replicated quorum fleet
 //	spsim -list                            # enumerate benchmarks and variants
 //
@@ -25,6 +26,13 @@
 // million cycles against the -bench structure, a bounded FIFO per shard
 // (-cores shards), optional group commit (-batch, -batch-deadline), and
 // per-request durable-commit latency percentiles.
+//
+// With -vstore the run is the same storage-server simulation over the
+// versioned copy-on-write tree store (internal/vstore): the structure is
+// pinned to VT (so -bench and the WAL-only -log-cap clash), each commit
+// group persists as one changeset behind exactly two barriers instead of
+// per-op WAL records, and the output adds the changeset-commit accounting
+// (versions minted, COW nodes written, time-travel reads).
 //
 // With -cluster the run switches to the replicated fleet (internal/cluster):
 // -nodes servers partitioned by a consistent-hash ring, every key range on
@@ -98,6 +106,7 @@ func main() {
 		listOnly  = flag.Bool("list", false, "list valid benchmarks and variants, then exit")
 
 		serviceMode = flag.Bool("service", false, "run the storage-server simulation (open-loop arrivals, group commit, tail latency)")
+		vstoreMode  = flag.Bool("vstore", false, "run the storage-server simulation over the versioned COW tree store (changeset commit, time-travel reads)")
 		svcRate     = flag.Float64("rate", 50, "service: offered load in requests per million cycles")
 		svcProcess  = flag.String("process", "poisson", "service: arrival process (poisson, bursty)")
 		svcBFrac    = flag.Float64("burst-frac", 0, "service: bursty ON fraction of each period (0 = default 0.25)")
@@ -202,6 +211,31 @@ func main() {
 			Audit:          *clAudit,
 			SetFlags:       set,
 		}, *jsonOut, *timeline, *tlCap)
+		return
+	}
+
+	if *vstoreMode {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		runVstore(serviceOptions{
+			Variant:     *variant,
+			Cores:       *cores,
+			Rate:        *svcRate,
+			Process:     *svcProcess,
+			BurstFrac:   *svcBFrac,
+			BurstPeriod: *svcBPeriod,
+			Requests:    *svcReqs,
+			Warmup:      *svcWarmup,
+			QueueCap:    *svcQueue,
+			Batch:       *svcBatch,
+			Deadline:    *svcDeadline,
+			GetFrac:     *svcGetFrac,
+			Keyspace:    *svcKeyspace,
+			Overhead:    *overhead,
+			Seed:        *seed,
+			SSB:         *ssb,
+			SetFlags:    set,
+		}, *jsonOut)
 		return
 	}
 

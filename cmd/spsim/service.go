@@ -47,7 +47,7 @@ type serviceOptions struct {
 // is a configuration error.
 var incompatibleWithService = []string{
 	"scale", "mc-frac", "mc-shared-lines", "mc-ops", "mc-warmup", "mc-disjoint",
-	"expect-rollbacks", "checkpoints",
+	"expect-rollbacks", "checkpoints", "vstore",
 	"cluster", "nodes", "replicas", "quorum", "vnodes", "zipf",
 	"net-rtt", "net-jitter", "catchup-batch",
 	"crash-at", "crash-node", "recover-after", "rebalance-every",
@@ -57,19 +57,34 @@ var incompatibleWithService = []string{
 	"heartbeat-every", "lease-cycles", "audit",
 }
 
-// buildServiceConfig validates the flag values and assembles the service
-// configuration. All errors are user errors (exit non-zero in main).
-func buildServiceConfig(o serviceOptions) (service.Config, error) {
+// rejectClashes errors if any flag from names was set explicitly; mode is
+// the flag name of the run mode being configured.
+func rejectClashes(mode string, set map[string]bool, names []string) error {
 	var clash []string
-	for _, name := range incompatibleWithService {
-		if o.SetFlags[name] {
+	for _, name := range names {
+		if set[name] {
 			clash = append(clash, "-"+name)
 		}
 	}
 	if len(clash) > 0 {
 		sort.Strings(clash)
-		return service.Config{}, fmt.Errorf("flags %v do not apply to -service runs", clash)
+		return fmt.Errorf("flags %v do not apply to -%s runs", clash, mode)
 	}
+	return nil
+}
+
+// buildServiceConfig validates the flag values and assembles the service
+// configuration. All errors are user errors (exit non-zero in main).
+func buildServiceConfig(o serviceOptions) (service.Config, error) {
+	if err := rejectClashes("service", o.SetFlags, incompatibleWithService); err != nil {
+		return service.Config{}, err
+	}
+	return assembleServingConfig(o)
+}
+
+// assembleServingConfig turns already-clash-checked options into a
+// validated service configuration; shared by -service and -vstore.
+func assembleServingConfig(o serviceOptions) (service.Config, error) {
 	v, err := core.ParseVariant(o.Variant)
 	if err != nil {
 		return service.Config{}, err

@@ -58,7 +58,6 @@ import (
 	"specpersist/internal/cpu"
 	"specpersist/internal/fault"
 	"specpersist/internal/hist"
-	"specpersist/internal/isa"
 	"specpersist/internal/multicore"
 	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
@@ -281,13 +280,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: variant %s has no durable commit; use Log+P, Log+P+Sf or SP", d.Variant)
 	}
 	valid := false
-	for _, n := range pstruct.Names() {
+	for _, n := range pstruct.AllNames() {
 		if n == d.Structure {
 			valid = true
 		}
 	}
 	if !valid {
-		return fmt.Errorf("cluster: unknown structure %q (valid: %v)", d.Structure, pstruct.Names())
+		return fmt.Errorf("cluster: unknown structure %q (valid: %v)", d.Structure, pstruct.AllNames())
 	}
 	if d.Nodes < 1 {
 		return fmt.Errorf("cluster: node count must be at least 1, got %d", d.Nodes)
@@ -796,11 +795,7 @@ func (s *fleet) buildMachine(n *node) error {
 		return fmt.Errorf("cluster: node %d: %w", n.idx, err)
 	}
 	n.sim, n.be = sim, be
-	sim.OnCoreCommit(0, func(e cpu.CommitEvent) {
-		if e.Op == isa.Store && e.Addr == n.be.Sentinel {
-			s.sentinelCommit(n)
-		}
-	})
+	be.BindSentinel(sim, 0, func() { s.sentinelCommit(n) })
 	return nil
 }
 
@@ -1563,7 +1558,7 @@ func (s *fleet) recoverNode(idx int, t uint64) {
 	for _, op := range c.durableOps {
 		c.be.St.Apply(op.key)
 	}
-	c.be.Env.M.PersistAll()
+	c.be.FinishReplay()
 	if err := c.be.St.Check(); err != nil {
 		s.err = fmt.Errorf("cluster: node %d invariants broken after durable replay: %w", idx, err)
 		return

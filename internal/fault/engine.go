@@ -72,6 +72,9 @@ type Campaign struct {
 	Trials int
 	// MaxCrashIndex bounds randomized-mode crash indexes; <= 0 means 200.
 	MaxCrashIndex int
+	// VstoreUnsafeFlip propagates the versioned store's negative-control
+	// commit protocol into every plan (structure "VT" only).
+	VstoreUnsafeFlip bool
 }
 
 // Report is a campaign's machine-readable summary.
@@ -211,6 +214,7 @@ func (e *Engine) runStructure(name string, c Campaign) (StructureReport, error) 
 	if c.Warmup > 0 {
 		base.Warmup = c.Warmup
 	}
+	base.VstoreUnsafeFlip = c.VstoreUnsafeFlip
 	ops := c.Ops
 	if ops <= 0 {
 		ops = 3

@@ -77,6 +77,12 @@ type Plan struct {
 	// that second crash. Recovery is then re-run to completion.
 	RecoveryCrash int        `json:"recovery_crash"`
 	RecoveryFates []LineFate `json:"recovery_fates,omitempty"`
+
+	// VstoreUnsafeFlip (structure "VT" only) selects the versioned store's
+	// negative-control commit: the root-selector flip reordered before the
+	// changeset flush, sharing one barrier. The shrinker never touches this
+	// field, so a shrunk reproducer keeps reproducing the broken protocol.
+	VstoreUnsafeFlip bool `json:"vstore_unsafe_flip,omitempty"`
 }
 
 // DefaultPlan returns the campaign base plan for one structure/variant:
@@ -126,9 +132,10 @@ type crashSignal struct{}
 // config assembles the pstruct sizing from the plan.
 func (p Plan) config() pstruct.Config {
 	return pstruct.Config{
-		HashCapacity: p.HashCapacity,
-		GraphVerts:   p.GraphVerts,
-		Strings:      p.Strings,
+		HashCapacity:     p.HashCapacity,
+		GraphVerts:       p.GraphVerts,
+		Strings:          p.Strings,
+		VstoreUnsafeFlip: p.VstoreUnsafeFlip,
 	}
 }
 
@@ -138,7 +145,7 @@ func (p Plan) validate() error {
 		return err
 	}
 	found := false
-	for _, n := range pstruct.Names() {
+	for _, n := range pstruct.AllNames() {
 		if n == p.Structure {
 			found = true
 		}
@@ -261,6 +268,13 @@ func runPlan(p Plan, primary fateFunc, recoveryFates fateFunc) (Outcome, error) 
 	mgr := txn.NewManager(env, p.LogCapacity)
 	s := pstruct.Build(p.Structure, env, mgr, p.config())
 
+	// Structures owning their recovery (the versioned COW store) dispatch
+	// there; the WAL structures recover through the undo log.
+	recoverFn := mgr.Recover
+	if vr, ok := s.(interface{ Recover() bool }); ok {
+		recoverFn = vr.Recover
+	}
+
 	rng := rand.New(rand.NewSource(p.Seed))
 	for i := 0; i < p.Warmup; i++ {
 		s.Apply(uint64(rng.Intn(p.Keyspace)))
@@ -290,21 +304,21 @@ func runPlan(p Plan, primary fateFunc, recoveryFates fateFunc) (Outcome, error) 
 			}
 		}()
 		if p.RecoveryCrash >= 0 {
-			if crashed, _ := recoverWithCrash(env, mgr, p.RecoveryCrash); crashed {
+			if crashed, _ := recoverWithCrash(env, recoverFn, p.RecoveryCrash); crashed {
 				env.Crash(crashOptions(recoveryFates))
 			}
 			// The machine reboots once more; this recovery must finish.
-			out.Recovered = mgr.Recover() || out.Recovered
+			out.Recovered = recoverFn() || out.Recovered
 		} else {
 			n := 0
 			restore := env.WithHook(func() { n++ })
-			out.Recovered = mgr.Recover()
+			out.Recovered = recoverFn()
 			restore()
 			out.RecoveryEvents = n
 		}
 		// Idempotence: a recovery that ran to completion retired the log;
 		// running it again must be a no-op.
-		if mgr.Recover() {
+		if recoverFn() {
 			return "recovery is not idempotent: second pass rolled back again"
 		}
 		if err := s.Check(); err != nil {
@@ -346,9 +360,9 @@ func applyWithCrash(env *exec.Env, s pstruct.Structure, key uint64, at int) (cra
 	return false, events
 }
 
-// recoverWithCrash runs mgr.Recover(), cutting power before its
+// recoverWithCrash runs the recovery function, cutting power before its
 // persistence event number `at`.
-func recoverWithCrash(env *exec.Env, mgr *txn.Manager, at int) (crashed bool, events int) {
+func recoverWithCrash(env *exec.Env, recoverFn func() bool, at int) (crashed bool, events int) {
 	restore := env.WithHook(func() {
 		if events >= at {
 			panic(crashSignal{})
@@ -364,7 +378,7 @@ func recoverWithCrash(env *exec.Env, mgr *txn.Manager, at int) (crashed bool, ev
 			crashed = true
 		}
 	}()
-	mgr.Recover()
+	recoverFn()
 	return false, events
 }
 

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"testing"
+
+	"specpersist/internal/core"
+)
+
+// TestVstoreExhaustiveCampaignClean is the tentpole safety claim for the
+// changeset-commit profile: an exhaustive crash-point campaign over the
+// versioned COW store — sampled fates, torn lines, re-crash inside
+// recovery — finds zero violations. Recovery always lands on the last
+// committed version; the in-flight changeset vanishes atomically.
+func TestVstoreExhaustiveCampaignClean(t *testing.T) {
+	eng := &Engine{Samples: 2, Torn: true, Recrash: true}
+	rep, err := eng.Run(Campaign{
+		Structures: []string{"VT"},
+		Variant:    core.VariantLogPSf,
+		Seed:       1,
+		Warmup:     16,
+		Ops:        3,
+		Exhaustive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d violations; first: %+v", rep.Violations, rep.Structures[0].Details)
+	}
+	if rep.Crashes == 0 || rep.Trials < 50 {
+		t.Fatalf("campaign too small to mean anything: %d trials, %d crashes", rep.Trials, rep.Crashes)
+	}
+	if rep.Structures[0].TornLines == 0 {
+		t.Fatal("torn campaign tore no lines")
+	}
+}
+
+// TestVstoreUnsafeFlipViolatesAndShrinks is the mandated negative control:
+// reordering the root-selector flip before the changeset flush (one shared
+// barrier) must produce violations, and ddmin must shrink one to a
+// replayable reproducer that still carries the broken protocol.
+func TestVstoreUnsafeFlipViolatesAndShrinks(t *testing.T) {
+	eng := &Engine{Samples: 2, Torn: true, Shrink: true}
+	rep, err := eng.Run(Campaign{
+		Structures:       []string{"VT"},
+		Variant:          core.VariantLogPSf,
+		Seed:             1,
+		Warmup:           12,
+		Ops:              3,
+		Exhaustive:       true,
+		VstoreUnsafeFlip: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("unsafe flip protocol survived the campaign — the checker is blind")
+	}
+	d := rep.Structures[0].Details[0]
+	if d.Shrunk == nil {
+		t.Fatal("no shrunk reproducer")
+	}
+	if !d.Shrunk.VstoreUnsafeFlip {
+		t.Fatal("shrinking dropped the unsafe-flip field; the reproducer no longer reproduces the broken protocol")
+	}
+	if !d.Deterministic {
+		t.Fatalf("shrunk reproducer is not deterministic: %+v", d)
+	}
+	out, err := Run(*d.Shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Failed() {
+		t.Fatalf("shrunk reproducer does not replay the violation: %+v", *d.Shrunk)
+	}
+}
+
+// TestVstoreSafeFlipIsTheDifference pins causality: the identical shrunk
+// reproducer with only the unsafe-flip bit cleared recovers atomically —
+// the two-barrier ordering is exactly what the negative control removes.
+func TestVstoreSafeFlipIsTheDifference(t *testing.T) {
+	eng := &Engine{Samples: 2, Torn: true, Shrink: true}
+	rep, err := eng.Run(Campaign{
+		Structures:       []string{"VT"},
+		Variant:          core.VariantLogPSf,
+		Seed:             1,
+		Warmup:           12,
+		Ops:              3,
+		Exhaustive:       true,
+		VstoreUnsafeFlip: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 || rep.Structures[0].Details[0].Shrunk == nil {
+		t.Skip("no shrunk reproducer (covered by TestVstoreUnsafeFlipViolatesAndShrinks)")
+	}
+	p := *rep.Structures[0].Details[0].Shrunk
+	p.VstoreUnsafeFlip = false
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("safe protocol fails the shrunk plan too: %s", out.Violation)
+	}
+}
+
+// TestVstoreSPDifferential drives the litmus-adjacent rollback contract on
+// the changeset-commit barrier profile: an SP machine forced through a
+// speculative rollback mid-commit must leave the same canonical effect
+// stream as the plain machine.
+func TestVstoreSPDifferential(t *testing.T) {
+	if err := SPDifferential("VT", 1, 12, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"specpersist/internal/isa"
 	"specpersist/internal/mem"
 	"specpersist/internal/txn"
+	"specpersist/internal/vstore"
 )
 
 // Audit, when true, makes every transactional store verify that its target
@@ -101,6 +102,12 @@ type Config struct {
 	HashCapacity int // initial hash-map capacity (entries)
 	GraphVerts   int // number of graph vertices
 	Strings      int // string-swap array length
+
+	// Versions caps the versioned tree store's manifest (0 = vstore default).
+	Versions int
+	// VstoreUnsafeFlip selects the versioned store's negative-control
+	// commit protocol (root flip reordered before the changeset flush).
+	VstoreUnsafeFlip bool
 }
 
 // DefaultConfig returns the sizing used by the workload harness at scale 1.
@@ -109,7 +116,14 @@ func DefaultConfig() Config {
 }
 
 // Names lists the benchmark abbreviations in the paper's Table 1 order.
+// These are the WAL-logged structures the default campaigns iterate.
 func Names() []string { return []string{"GH", "HM", "LL", "SS", "AT", "BT", "RT"} }
+
+// AllNames lists every structure Build accepts: the Table 1 WAL structures
+// plus the versioned copy-on-write tree store ("VT"), which persists via
+// changeset commit instead of the undo log and therefore sits outside the
+// Table 1 default set.
+func AllNames() []string { return append(Names(), "VT") }
 
 // Build constructs the named benchmark structure. mgr may be nil for the
 // non-transactional baseline variant. Unknown names panic.
@@ -129,6 +143,10 @@ func Build(name string, env *exec.Env, mgr *txn.Manager, cfg Config) Structure {
 		return NewBTree(env, mgr)
 	case "RT":
 		return NewRBTree(env, mgr)
+	case "VT":
+		// The versioned COW tree ignores mgr: it persists via changeset
+		// commit, not the WAL.
+		return NewVTree(env, vstore.Config{Versions: cfg.Versions, UnsafeFlip: cfg.VstoreUnsafeFlip})
 	default:
 		panic(fmt.Sprintf("pstruct: unknown structure %q", name))
 	}

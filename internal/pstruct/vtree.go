@@ -1,0 +1,77 @@
+package pstruct
+
+import (
+	"specpersist/internal/exec"
+	"specpersist/internal/vstore"
+)
+
+// VTree adapts the versioned copy-on-write tree store (internal/vstore) to
+// the Structure interface, so the fault, service, sweep and differential
+// harnesses can drive the changeset-commit persistence profile through the
+// same code paths as the WAL structures. It ignores the txn.Manager
+// entirely: durability comes from vstore's two-barrier changeset commit,
+// not undo logging.
+//
+// By default every Apply commits its own changeset (auto-commit 1), which
+// matches the per-op atomicity contract the fault harness checks. The
+// serving layers switch to manual mode (SetAutoCommit(0)) and call Commit
+// once per admission group, turning the whole group into one changeset
+// behind a single barrier pair.
+type VTree struct {
+	S *vstore.Store
+
+	auto    int
+	pending int
+}
+
+// NewVTree builds a versioned tree store over env.
+func NewVTree(env *exec.Env, cfg vstore.Config) *VTree {
+	return &VTree{S: vstore.New(env, cfg), auto: 1}
+}
+
+// SetAutoCommit sets how many Apply calls form one changeset; 0 disables
+// automatic commits (the caller owns the commit boundary).
+func (t *VTree) SetAutoCommit(n int) { t.auto, t.pending = n, 0 }
+
+// Name returns the structure abbreviation.
+func (t *VTree) Name() string { return "VT" }
+
+// Apply performs the benchmark toggle on the working set, committing the
+// changeset every auto-commit operations.
+func (t *VTree) Apply(key uint64) {
+	t.S.Toggle(key)
+	if t.auto > 0 {
+		t.pending++
+		if t.pending >= t.auto {
+			t.S.Commit()
+			t.pending = 0
+		}
+	}
+}
+
+// Contains reads the last *committed* version — a time-travel read while a
+// changeset is in flight, exactly what a server answers during a pending
+// group commit.
+func (t *VTree) Contains(key uint64) bool {
+	_, ok := t.S.GetCommitted(key)
+	return ok
+}
+
+// Size returns the working tree's key count.
+func (t *VTree) Size() int { return int(t.S.Count()) }
+
+// Check validates the committed version (and the working set when dirty).
+func (t *VTree) Check() error { return t.S.Check() }
+
+// Commit closes the current changeset; a clean working set is a no-op.
+func (t *VTree) Commit() { t.S.Commit() }
+
+// Recover discards any in-flight changeset and lands on the durable
+// committed version; the fault harness dispatches recovery here instead of
+// txn.Manager when a structure implements it.
+func (t *VTree) Recover() bool {
+	t.pending = 0
+	return t.S.Recover()
+}
+
+var _ Structure = (*VTree)(nil)

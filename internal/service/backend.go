@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"specpersist/internal/cpu"
 	"specpersist/internal/exec"
 	"specpersist/internal/isa"
+	"specpersist/internal/multicore"
 	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
 	"specpersist/internal/trace"
@@ -97,25 +99,42 @@ func NewBackend(cfg BackendConfig, window int, reg *obs.Registry) (*Backend, err
 	scfg := pstruct.Config{HashCapacity: 64, GraphVerts: 32, Strings: 16}
 	st := pstruct.Build(cfg.Structure, env, mgr, scfg)
 
+	vt, isVT := st.(*pstruct.VTree)
+	if isVT {
+		// The versioned store serves in manual group-commit mode: the
+		// whole warmup becomes one changeset sealed by a single commit
+		// below, and each serving commit group commits once in AppendGroup.
+		vt.SetAutoCommit(0)
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := 0; i < cfg.Warmup; i++ {
 		st.Apply(uint64(rng.Intn(cfg.Keyspace)))
+	}
+	if isVT {
+		vt.Commit()
 	}
 	env.M.PersistAll()
 	if err := st.Check(); err != nil {
 		return nil, fmt.Errorf("service: backend after warmup: %w", err)
 	}
-	if cfg.Coalesce {
+	if cfg.Coalesce && !isVT {
+		// VT's Commit already batches the whole changeset behind two
+		// barriers; coalescing (which would defer and reorder them)
+		// stays off for it.
 		env.SetBarrierCoalescing(true)
 	}
 	if reg != nil {
 		env.M.Register(reg)
 		mgr.Register(reg)
+		if isVT {
+			vt.S.Register(reg)
+		}
 	}
 	return &Backend{
 		Env: env, Mgr: mgr, St: st, Sentinel: sentinel,
 		WarmupPcommits: env.M.Stats().Pcommits,
-		coalesce:       cfg.Coalesce,
+		coalesce:       cfg.Coalesce && !isVT,
 	}, nil
 }
 
@@ -146,7 +165,12 @@ func (b *Backend) AppendGroup(ops []Op, overhead int) {
 			b.St.Apply(op.Key)
 		}
 	}
-	if b.coalesce {
+	if vt, ok := b.St.(*pstruct.VTree); ok {
+		// Group commit for the versioned store: the whole group's changeset
+		// persists behind the commit's own two barriers — no per-op WAL
+		// records, nothing to coalesce.
+		vt.Commit()
+	} else if b.coalesce {
 		b.Env.FlushBarriers()
 	}
 	b.bld.Store(b.Sentinel, 8, isa.NoReg, isa.NoReg)
@@ -162,4 +186,27 @@ func (b *Backend) EndRun() {
 // ServingPcommits reports the device pcommits issued since warmup ended.
 func (b *Backend) ServingPcommits() uint64 {
 	return b.Env.M.Stats().Pcommits - b.WarmupPcommits
+}
+
+// BindSentinel subscribes fn to core k's commit stream, firing once per
+// committed store to the backend's sentinel line — the durability point
+// of each commit group. The service and cluster layers share this single
+// durability-timestamp hookup so their completion semantics cannot drift.
+func (b *Backend) BindSentinel(sim *multicore.Sim, core int, fn func()) {
+	sentinel := b.Sentinel
+	sim.OnCoreCommit(core, func(e cpu.CommitEvent) {
+		if e.Op == isa.Store && e.Addr == sentinel {
+			fn()
+		}
+	})
+}
+
+// FinishReplay seals a functional crash-recovery replay: the versioned
+// store commits the replayed changeset (making the restored root durable
+// again), then all residual dirty lines are persisted.
+func (b *Backend) FinishReplay() {
+	if vt, ok := b.St.(*pstruct.VTree); ok {
+		vt.Commit()
+	}
+	b.Env.M.PersistAll()
 }

@@ -67,3 +67,36 @@ func TestSweepWorkerIndependence(t *testing.T) {
 		t.Fatal("sweep output depends on the worker count")
 	}
 }
+
+// TestVstoreSweepWorkerIndependence: the -vstore comparison sweep and both
+// rendered tables must be byte-identical at any worker count. Run with
+// -race in CI.
+func TestVstoreSweepWorkerIndependence(t *testing.T) {
+	sc := DefaultVstoreSweepConfig()
+	sc.Base.Requests = 48
+	sc.Base.Warmup = 32
+	sc.Rates = []float64{200, 600}
+	sc.Batches = []int{1, 4}
+	render := func(workers int) []byte {
+		sc.Workers = workers
+		points, err := VstoreSweep(sc)
+		if err != nil {
+			t.Fatalf("sweep with %d workers: %v", workers, err)
+		}
+		pj, err := json.Marshal(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.Write(pj)
+		buf.WriteString(VstoreTable(points).String())
+		buf.WriteString(VstoreCapacityTable(points).String())
+		return buf.Bytes()
+	}
+	one := render(1)
+	many := render(8)
+	auto := render(0)
+	if !bytes.Equal(one, many) || !bytes.Equal(one, auto) {
+		t.Fatal("vstore sweep output depends on the worker count")
+	}
+}

@@ -50,7 +50,6 @@ import (
 	"specpersist/internal/core"
 	"specpersist/internal/cpu"
 	"specpersist/internal/hist"
-	"specpersist/internal/isa"
 	"specpersist/internal/multicore"
 	"specpersist/internal/obs"
 	"specpersist/internal/pstruct"
@@ -210,13 +209,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("service: variant %s has no durable commit; use Log+P, Log+P+Sf or SP", d.Variant)
 	}
 	valid := false
-	for _, n := range pstruct.Names() {
+	for _, n := range pstruct.AllNames() {
 		if n == d.Structure {
 			valid = true
 		}
 	}
 	if !valid {
-		return fmt.Errorf("service: unknown structure %q (valid: %v)", d.Structure, pstruct.Names())
+		return fmt.Errorf("service: unknown structure %q (valid: %v)", d.Structure, pstruct.AllNames())
 	}
 	if d.Cores < 1 {
 		return fmt.Errorf("service: core count must be at least 1, got %d", d.Cores)
@@ -405,11 +404,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		s.shards = append(s.shards, sh)
 		k := k
-		sim.OnCoreCommit(k, func(e cpu.CommitEvent) {
-			if e.Op == isa.Store && e.Addr == sh.be.Sentinel {
-				s.completeGroup(sh, k)
-			}
-		})
+		sh.be.BindSentinel(sim, k, func() { s.completeGroup(sh, k) })
 	}
 
 	if err := s.loop(genArrivals(cfg)); err != nil {

@@ -1,0 +1,202 @@
+// Versioned-store figures: the per-op-WAL vs changeset-commit comparison
+// cmd/figures -vstore emits. The same open-loop server runs the WAL-logged
+// B-tree (four ordering points per update, coalescible under group commit)
+// and the versioned COW store (two ordering points per commit group, any
+// size) side by side, across offered load, variant and group size — so the
+// table shows what trading the undo log for a changeset commit buys in
+// barrier counts, tail latency and p99-SLO capacity.
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"specpersist/internal/core"
+	"specpersist/internal/report"
+	"specpersist/internal/sweep"
+)
+
+// VstoreSweepConfig parameterizes the structure-comparison sweep: the
+// cross product of Structures, Variants, Batches and Rates from the Base
+// template, always single-shard.
+type VstoreSweepConfig struct {
+	Base       Config         `json:"base"`
+	Rates      []float64      `json:"rates"`
+	Variants   []core.Variant `json:"variants"`
+	Structures []string       `json:"structures"`
+	Batches    []int          `json:"batches"`
+	// Workers bounds sweep parallelism (<= 0: GOMAXPROCS). Results are
+	// indexed by grid position, so the worker count never changes output.
+	Workers int `json:"-"`
+}
+
+// DefaultVstoreSweepConfig returns the harness-scale comparison: WAL
+// B-tree against the versioned store, the fenced baseline against SP,
+// group commit off and on.
+func DefaultVstoreSweepConfig() VstoreSweepConfig {
+	return VstoreSweepConfig{
+		Base:       DefaultConfig(),
+		Rates:      []float64{100, 300, 500, 700, 900},
+		Variants:   []core.Variant{core.VariantLogPSf, core.VariantSP},
+		Structures: []string{"BT", "VT"},
+		Batches:    []int{1, 8},
+	}
+}
+
+// VstorePoint is one grid cell's outcome, tagged with the structure and
+// its commit protocol.
+type VstorePoint struct {
+	Structure string `json:"structure"`
+	// Commit names the durability protocol: "per-op WAL" or "changeset".
+	Commit string `json:"commit"`
+	SweepPoint
+}
+
+// commitProtocol names how a structure reaches durability.
+func commitProtocol(structure string) string {
+	if structure == "VT" {
+		return "changeset"
+	}
+	return "per-op WAL"
+}
+
+// VstoreSweep simulates the full grid on the shared worker pool, in
+// deterministic grid order (structure, variant, batch, rate) independent
+// of the worker count.
+func VstoreSweep(sc VstoreSweepConfig) ([]VstorePoint, error) {
+	type cell struct {
+		structure string
+		v         core.Variant
+		batch     int
+		rate      float64
+	}
+	var grid []cell
+	for _, s := range sc.Structures {
+		for _, v := range sc.Variants {
+			for _, b := range sc.Batches {
+				for _, r := range sc.Rates {
+					grid = append(grid, cell{structure: s, v: v, batch: b, rate: r})
+				}
+			}
+		}
+	}
+	points := make([]VstorePoint, len(grid))
+	err := sweep.Pool(sc.Workers, len(grid), func(i int) error {
+		c := grid[i]
+		cfg := sc.Base
+		cfg.Structure = c.structure
+		cfg.Variant = c.v
+		cfg.Rate = c.rate
+		cfg.BatchMax = c.batch
+		cfg.Cores = 1
+		cfg.Timeline = nil
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("vstore sweep point %s %s rate=%g batch=%d: %w",
+				c.structure, c.v, c.rate, c.batch, err)
+		}
+		res.Metrics = nil // keep sweep output at table scale
+		points[i] = VstorePoint{
+			Structure: c.structure,
+			Commit:    commitProtocol(c.structure),
+			SweepPoint: SweepPoint{
+				Rate: c.rate, Variant: c.v.String(), Batch: c.batch, Cores: 1, Result: res,
+			},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// VstoreTable renders the sweep as the comparison table: one row per grid
+// cell with the barrier-count evidence (serving pcommits per completed
+// request) next to goodput and tail latency.
+func VstoreTable(points []VstorePoint) *report.Table {
+	t := &report.Table{
+		Title: "Per-op WAL vs changeset commit: barriers, goodput and tail latency",
+		Columns: []string{"structure", "commit", "variant", "K", "offered(req/Mc)",
+			"goodput(req/Mc)", "p50", "p99", "drops", "pcommit/req"},
+	}
+	for _, p := range points {
+		r := p.Result
+		perReq := 0.0
+		if r.Stats.Completed > 0 {
+			perReq = float64(r.Stats.Pcommits) / float64(r.Stats.Completed)
+		}
+		t.AddRow(p.Structure, p.Commit, p.Variant, fmt.Sprint(p.Batch),
+			fmt.Sprintf("%.0f", p.Rate), fmt.Sprintf("%.1f", r.Throughput),
+			fmt.Sprint(r.P50), fmt.Sprint(r.P99),
+			fmt.Sprint(r.Stats.Dropped), fmt.Sprintf("%.2f", perReq))
+	}
+	t.AddNote("per-op WAL: 4 ordering points per update, coalesced to 1 per group at K>1")
+	t.AddNote("changeset: 2 ordering points per commit group regardless of group size")
+	return t
+}
+
+// VstoreCapacityTable reduces the sweep to the headline comparison: for
+// each group size, a p99 SLO chosen to maximize the changeset-commit vs
+// per-op-WAL sustained-load gap (this figure's axis), shared across
+// structures within the K so the capacities are comparable, and the max
+// sustained load per structure and variant under it.
+func VstoreCapacityTable(points []VstorePoint) *report.Table {
+	t := &report.Table{
+		Title:   "p99 SLO capacity by commit protocol: max offered load (req/Mcycle)",
+		Columns: []string{"K", "p99 SLO", "structure", "commit", "Log+P+Sf", "SP", "SP gain"},
+	}
+	batches := map[int]bool{}
+	var order []int
+	for _, p := range points {
+		if !batches[p.Batch] {
+			batches[p.Batch] = true
+			order = append(order, p.Batch)
+		}
+	}
+	sort.Ints(order)
+	filter := func(batch int, structure, variant string) []SweepPoint {
+		var out []SweepPoint
+		for _, p := range points {
+			if p.Batch == batch &&
+				(structure == "" || p.Structure == structure) &&
+				(variant == "" || p.Variant == variant) {
+				out = append(out, p.SweepPoint)
+			}
+		}
+		return out
+	}
+	structures := map[string]bool{}
+	var sOrder []string
+	for _, p := range points {
+		if !structures[p.Structure] {
+			structures[p.Structure] = true
+			sOrder = append(sOrder, p.Structure)
+		}
+	}
+	changeset := func(batch int, want bool) []SweepPoint {
+		var out []SweepPoint
+		for _, p := range points {
+			if p.Batch == batch && (p.Commit == "changeset") == want {
+				out = append(out, p.SweepPoint)
+			}
+		}
+		return out
+	}
+	for _, k := range order {
+		slo := ChooseSLO(changeset(k, true), changeset(k, false))
+		for _, s := range sOrder {
+			base := MaxSustainedRate(filter(k, s, core.VariantLogPSf.String()), slo)
+			sp := MaxSustainedRate(filter(k, s, core.VariantSP.String()), slo)
+			gain := "-"
+			if base > 0 {
+				gain = fmt.Sprintf("%+.0f%%", (sp/base-1)*100)
+			}
+			t.AddRow(fmt.Sprint(k), fmt.Sprint(slo), s, commitProtocol(s),
+				fmt.Sprintf("%.0f", base), fmt.Sprintf("%.0f", sp), gain)
+		}
+	}
+	t.AddNote("SLO per K maximizes the changeset vs per-op-WAL gap, shared across structures so capacities are directly comparable")
+	t.AddNote("a rate counts as sustained only with zero queue drops")
+	return t
+}

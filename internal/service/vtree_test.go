@@ -1,0 +1,66 @@
+package service
+
+import "testing"
+
+// TestVTreeBackendServes drives the open-loop server over the versioned
+// COW store: every admitted request completes, each commit group mints at
+// most one version (group changeset commit, not per-op WAL records), and
+// read traffic arriving while a group's changeset is in flight is served
+// from the committed root (time-travel reads).
+func TestVTreeBackendServes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Structure = "VT"
+	cfg.Rate = 1500
+	cfg.Requests = 160
+	cfg.BatchMax = 8
+	cfg.BatchDeadline = 5000
+	cfg.GetFrac = 0.3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st := res.Stats
+	if st.Admitted != st.Completed || st.Completed == 0 {
+		t.Fatalf("admitted %d, completed %d", st.Admitted, st.Completed)
+	}
+	commits := res.Metrics["core0.vstore.commits"]
+	if commits == 0 {
+		t.Fatal("serving issued no changeset commits")
+	}
+	// One version per commit group at most (empty groups of pure gets
+	// commit nothing), never one per update. The +1 is the warmup seal.
+	if commits > st.Batches+1 {
+		t.Fatalf("%d commits for %d commit groups; the store is not group-committing", commits, st.Batches)
+	}
+	if res.Metrics["core0.vstore.time_travel_gets"] == 0 {
+		t.Fatal("no get was served from the committed root while a changeset was in flight")
+	}
+	if res.Metrics["core0.vstore.barriers"] != 2*commits {
+		t.Fatalf("barriers %d, want exactly 2 per commit (%d commits)",
+			res.Metrics["core0.vstore.barriers"], commits)
+	}
+}
+
+// TestVTreeGroupCommitBeatsWAL pins the figure-level claim at the serving
+// layer: at K=1 (per-op commit, the WAL's uncoalesced regime) the
+// versioned store's changeset commit needs exactly two ordering points
+// per update, strictly fewer serving-phase pcommits than the per-op
+// WAL-logged B-tree it replaces.
+func TestVTreeGroupCommitBeatsWAL(t *testing.T) {
+	run := func(structure string) Result {
+		cfg := DefaultConfig()
+		cfg.Structure = structure
+		cfg.Rate = 1500
+		cfg.Requests = 120
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s run: %v", structure, err)
+		}
+		return res
+	}
+	vt, bt := run("VT"), run("BT")
+	if vt.Stats.Pcommits >= bt.Stats.Pcommits {
+		t.Fatalf("VT issued %d serving pcommits, per-op WAL BT %d; changeset commit should need fewer ordering points",
+			vt.Stats.Pcommits, bt.Stats.Pcommits)
+	}
+}
